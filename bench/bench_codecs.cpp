@@ -1,0 +1,118 @@
+// Ablation D — codec microbenchmarks (real CPU time).
+//
+// Supporting measurements for the substrates: the XML engine (USDL, SOAP),
+// the OBEX and UMTP binary codecs, and base64. These run the actual encode /
+// decode paths the protocol stacks exercise, under classic google-benchmark
+// wall-clock timing (no simulation involved).
+#include <benchmark/benchmark.h>
+
+#include "bluetooth/obex.hpp"
+#include "common/base64.hpp"
+#include "core/umtp.hpp"
+#include "core/usdl.hpp"
+#include "upnp/soap.hpp"
+#include "xml/parser.hpp"
+
+namespace {
+
+using namespace umiddle;
+
+const char* kUsdlDoc = R"USDL(
+<usdl version="1">
+  <service platform="upnp" match="urn:schemas-upnp-org:device:BinaryLight:1" name="UPnP Light">
+    <shape>
+      <digital-port name="power-on" direction="input" mime="application/x-upnp-control"/>
+      <digital-port name="power-off" direction="input" mime="application/x-upnp-control"/>
+      <physical-port name="glow" direction="output" tag="visible/light"/>
+    </shape>
+    <bindings>
+      <binding port="power-on" kind="action">
+        <native service="SwitchPower" action="SetPower"><arg name="Power" value="1"/></native>
+      </binding>
+      <binding port="power-off" kind="action">
+        <native service="SwitchPower" action="SetPower"><arg name="Power" value="0"/></native>
+      </binding>
+    </bindings>
+  </service>
+</usdl>)USDL";
+
+void BM_XmlParse(benchmark::State& state) {
+  std::string doc(kUsdlDoc);
+  for (auto _ : state) {
+    auto parsed = xml::parse(doc);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(doc.size()));
+}
+
+void BM_UsdlParse(benchmark::State& state) {
+  std::string doc(kUsdlDoc);
+  for (auto _ : state) {
+    auto parsed = core::parse_usdl(doc);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+
+void BM_SoapRoundTrip(benchmark::State& state) {
+  upnp::ActionRequest request;
+  request.service_type = "urn:schemas-upnp-org:service:SwitchPower:1";
+  request.action = "SetPower";
+  request.args["Power"] = "1";
+  for (auto _ : state) {
+    std::string envelope = request.to_envelope();
+    auto back = upnp::ActionRequest::from_envelope(envelope, request.soap_action_header());
+    benchmark::DoNotOptimize(back);
+  }
+}
+
+void BM_ObexRoundTrip(benchmark::State& state) {
+  bt::obex::Packet packet;
+  packet.opcode = bt::obex::kOpPutFinal;
+  packet.headers.push_back(bt::obex::Header::text(bt::obex::kHdrName, "dsc001.jpg"));
+  packet.headers.push_back(
+      bt::obex::Header::bytes(bt::obex::kHdrEndOfBody,
+                              Bytes(static_cast<std::size_t>(state.range(0)), 0xD8)));
+  for (auto _ : state) {
+    Bytes wire = packet.encode();
+    auto back = bt::obex::decode(wire);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+void BM_UmtpRoundTrip(benchmark::State& state) {
+  core::umtp::DataFrame frame;
+  frame.dst = core::PortRef{TranslatorId(7), "image-in"};
+  frame.message.type = MimeType::of("image/jpeg");
+  frame.message.payload = Bytes(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    Bytes wire = core::umtp::encode(core::umtp::Frame{frame});
+    std::vector<core::umtp::Frame> out;
+    core::umtp::FrameAssembler assembler;
+    auto r = assembler.feed(wire, out);
+    benchmark::DoNotOptimize(r);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Base64(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    std::string encoded = base64::encode(data);
+    auto decoded = base64::decode(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+BENCHMARK(BM_XmlParse);
+BENCHMARK(BM_UsdlParse);
+BENCHMARK(BM_SoapRoundTrip);
+BENCHMARK(BM_ObexRoundTrip)->Arg(1400)->Arg(32000);
+BENCHMARK(BM_UmtpRoundTrip)->Arg(1400)->Arg(32000);
+BENCHMARK(BM_Base64)->Arg(1400)->Arg(32000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,241 @@
+// Ablation C — QoS control in the bridge (paper §5.3 + §7 future work).
+//
+// "If one of the services uses narrower bandwidth ... the service would be a
+//  bottleneck that causes the data sent from other services to accumulate in
+//  the uMiddle's translation buffer. Therefore, the universal interoperability
+//  layer should provide some QoS control mechanism."
+//
+// Two scenarios, each isolating one QoS mechanism:
+//
+//   1. Sustained overload (the paper's RMI-MB situation distilled): a fast
+//      source feeds a slow consumer. Without QoS the translation buffer grows
+//      without bound — the paper's observation. A buffer bound caps memory at
+//      the cost of tail drops.
+//
+//   2. Bursty source, fast sink: the sink keeps up on average, but bursts
+//      pass through the bridge at full speed and hammer the consumer. A
+//      token-bucket shaper caps the path's peak delivery rate — the "QoS
+//      control" a bridge needs when the two platforms have different rate
+//      semantics (§7: "different platforms entail different QoS semantics").
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/umiddle.hpp"
+
+namespace {
+
+using namespace umiddle;
+
+constexpr std::size_t kMessage = 1400;
+
+/// Sink that accepts one message, then is busy for `service_time` (0 = always
+/// ready). Records delivery timestamps for peak-rate analysis.
+class Sink final : public core::Translator {
+ public:
+  Sink(sim::Scheduler& sched, sim::Duration service_time)
+      : Translator("Sink", "umiddle", "umiddle:sink",
+                   core::make_sink_shape("in", MimeType::of("application/octet-stream"))),
+        sched_(sched), service_time_(service_time) {}
+
+  Result<void> deliver(const std::string&, const core::Message& msg) override {
+    ++delivered;
+    bytes += msg.payload.size();
+    timestamps.push_back(sched_.now());
+    if (service_time_ > sim::Duration(0)) {
+      busy_ = true;
+      sched_.schedule_after(service_time_, [this]() {
+        busy_ = false;
+        if (mapped()) runtime()->notify_ready(profile().id);
+      });
+    }
+    return ok_result();
+  }
+  bool ready(const std::string&) const override { return !busy_; }
+
+  /// Peak delivered bytes within any window of the given width.
+  double peak_rate_bps(sim::Duration window) const {
+    double peak = 0;
+    for (std::size_t i = 0; i < timestamps.size(); ++i) {
+      std::size_t j = i;
+      while (j < timestamps.size() && timestamps[j] - timestamps[i] < window) ++j;
+      double bps = static_cast<double>((j - i) * kMessage) * 8.0 / sim::to_seconds(window);
+      peak = std::max(peak, bps);
+    }
+    return peak;
+  }
+
+  std::uint64_t delivered = 0;
+  std::uint64_t bytes = 0;
+  std::vector<sim::TimePoint> timestamps;
+
+ private:
+  sim::Scheduler& sched_;
+  sim::Duration service_time_;
+  bool busy_ = false;
+};
+
+struct Outcome {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::size_t max_buffered = 0;
+  double peak_rate_mbps = 0;
+};
+
+/// `burst` messages every `burst_interval` for `seconds`, through one path.
+Outcome run(const core::QosPolicy& policy, sim::Duration sink_service_time, int burst,
+            sim::Duration burst_interval, double seconds) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+  (void)net.add_host("node");
+  (void)net.attach("node", lan);
+  core::Runtime runtime(sched, net, "node");
+  (void)runtime.start();
+
+  auto source = std::make_unique<core::LambdaDevice>(
+      "Source", core::make_source_shape("out", MimeType::of("application/octet-stream")));
+  core::LambdaDevice* source_raw = source.get();
+  auto source_id = runtime.map(std::move(source)).take();
+  auto sink = std::make_unique<Sink>(sched, sink_service_time);
+  Sink* sink_raw = sink.get();
+  auto sink_id = runtime.map(std::move(sink)).take();
+  sched.run_for(sim::seconds(1));
+
+  auto path = runtime.transport()
+                  .connect(core::PortRef{source_id, "out"}, core::PortRef{sink_id, "in"}, policy)
+                  .take();
+
+  sim::TimePoint end = sched.now() + sim::Duration(static_cast<std::int64_t>(seconds * 1e9));
+  struct Pump {
+    core::LambdaDevice* source;
+    sim::Scheduler& sched;
+    sim::TimePoint end;
+    int burst;
+    sim::Duration interval;
+    void operator()() const {
+      if (sched.now() >= end) return;
+      for (int i = 0; i < burst; ++i) {
+        core::Message msg;
+        msg.type = MimeType::of("application/octet-stream");
+        msg.payload = Bytes(kMessage);
+        (void)source->emit("out", std::move(msg));
+      }
+      sched.schedule_after(interval, Pump{source, sched, end, burst, interval});
+    }
+  };
+  sched.post(Pump{source_raw, sched, end, burst, burst_interval});
+  sched.run_until(end);
+
+  Outcome out;
+  const core::PathStats* stats = runtime.transport().stats(path);
+  out.delivered = sink_raw->delivered;
+  out.dropped = stats->messages_dropped;
+  out.max_buffered = stats->max_buffered_bytes;
+  out.peak_rate_mbps = sink_raw->peak_rate_bps(sim::milliseconds(100)) / 1e6;
+  return out;
+}
+
+// --- scenario 1: sustained overload (slow sink) -------------------------------------
+
+Outcome overload(const core::QosPolicy& policy) {
+  // Source: 1 msg/ms (1.4 MB/s); sink: 1 msg per 4 ms (0.35 MB/s); 20 s.
+  return run(policy, sim::milliseconds(4), 1, sim::milliseconds(1), 20.0);
+}
+
+// --- scenario 2: bursty source, fast sink ---------------------------------------------
+
+Outcome bursty(const core::QosPolicy& policy) {
+  // Bursts of 64 messages every 400 ms (avg 0.224 MB/s, sustainable), always-
+  // ready sink; what differs is the *peak* rate the bridge lets through.
+  return run(policy, sim::Duration(0), 64, sim::milliseconds(400), 20.0);
+}
+
+void print_tables() {
+  std::printf("\n=== Ablation C: QoS control of the translation buffer (§5.3/§7) ===\n");
+
+  std::printf("\nScenario 1 — sustained overload (1.4 MB/s offered, 0.35 MB/s sink, 20 s)\n");
+  std::printf("%-10s %12s %10s %18s\n", "policy", "delivered", "dropped", "max buffer [kB]");
+  {
+    Outcome none = overload({});
+    core::QosPolicy bounded;
+    bounded.max_buffered_bytes = 64 * 1024;
+    Outcome capped = overload(bounded);
+    std::printf("%-10s %12llu %10llu %18.1f   <- the paper's accumulation\n", "none",
+                static_cast<unsigned long long>(none.delivered),
+                static_cast<unsigned long long>(none.dropped),
+                static_cast<double>(none.max_buffered) / 1e3);
+    std::printf("%-10s %12llu %10llu %18.1f   <- bounded translation buffer\n", "bounded",
+                static_cast<unsigned long long>(capped.delivered),
+                static_cast<unsigned long long>(capped.dropped),
+                static_cast<double>(capped.max_buffered) / 1e3);
+  }
+
+  std::printf("\nScenario 2 — bursty source, fast sink (64-message bursts, 20 s)\n");
+  std::printf("%-10s %12s %22s %18s\n", "policy", "delivered", "peak rate [Mbps/100ms]",
+              "max buffer [kB]");
+  {
+    Outcome none = bursty({});
+    core::QosPolicy shaped;
+    shaped.rate_bytes_per_sec = 250e3;  // cap the path at the consumer's comfort rate
+    shaped.burst_bytes = 4 * kMessage;
+    Outcome smooth = bursty(shaped);
+    std::printf("%-10s %12llu %22.2f %18.1f   <- bursts pass through\n", "none",
+                static_cast<unsigned long long>(none.delivered), none.peak_rate_mbps,
+                static_cast<double>(none.max_buffered) / 1e3);
+    std::printf("%-10s %12llu %22.2f %18.1f   <- token bucket smooths\n", "shaped",
+                static_cast<unsigned long long>(smooth.delivered), smooth.peak_rate_mbps,
+                static_cast<double>(smooth.max_buffered) / 1e3);
+  }
+  std::printf("\n");
+}
+
+void BM_Overload(benchmark::State& state, bool bounded) {
+  core::QosPolicy policy;
+  if (bounded) policy.max_buffered_bytes = 64 * 1024;
+  Outcome o;
+  for (auto _ : state) {
+    o = overload(policy);
+    state.SetIterationTime(20.0);
+  }
+  state.counters["max_buffer_kB"] = static_cast<double>(o.max_buffered) / 1e3;
+  state.counters["dropped"] = static_cast<double>(o.dropped);
+}
+
+void BM_Bursty(benchmark::State& state, bool shaped) {
+  core::QosPolicy policy;
+  if (shaped) {
+    policy.rate_bytes_per_sec = 250e3;
+    policy.burst_bytes = 4 * kMessage;
+  }
+  Outcome o;
+  for (auto _ : state) {
+    o = bursty(policy);
+    state.SetIterationTime(20.0);
+  }
+  state.counters["peak_Mbps"] = o.peak_rate_mbps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::RegisterBenchmark("AblationC/overload/none",
+                               [](benchmark::State& s) { BM_Overload(s, false); })
+      ->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+  benchmark::RegisterBenchmark("AblationC/overload/bounded",
+                               [](benchmark::State& s) { BM_Overload(s, true); })
+      ->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+  benchmark::RegisterBenchmark("AblationC/bursty/none",
+                               [](benchmark::State& s) { BM_Bursty(s, false); })
+      ->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+  benchmark::RegisterBenchmark("AblationC/bursty/shaped",
+                               [](benchmark::State& s) { BM_Bursty(s, true); })
+      ->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

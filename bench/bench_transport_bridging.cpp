@@ -1,0 +1,284 @@
+// Figure 11 — Transport-level bridging throughput.
+//
+// Paper setup: three hosts on a 10 Mbps Ethernet hub. Node 1 runs a MediaBroker
+// server (and MB service), node 2 the uMiddle runtime with the translators,
+// node 3 a Java RMI registry (and RMI service). 1400-byte messages.
+//
+// Paper results:  TCP baseline 7.9 Mbps | MB test 6.2 | RMI test 3.2 | RMI-MB 2.9
+//
+// Tests:
+//   MB     — the MB service sends messages to its translator on node 2; they
+//            are echoed back to the same service (through the translator's
+//            produce side).
+//   RMI    — the RMI service sends messages to itself through uMiddle
+//            (gateway push → message path → synchronous deliver call).
+//   RMI-MB — the MB service sends messages to the RMI service through uMiddle.
+//
+// We run every test on two physical models of the "10 Mbps hub": a strict
+// half-duplex shared medium (our primary model) and a non-blocking full-duplex
+// switch (sensitivity row — 2006 "hubs" in practice often were switches, and
+// the paper's 6.2 Mbps echo throughput is only reachable on one). Ordering and
+// the RMI-bottleneck observation hold on both.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+
+#include "core/umiddle.hpp"
+#include "mediabroker/mapper.hpp"
+#include "rmi/mapper.hpp"
+
+namespace {
+
+using namespace umiddle;
+
+constexpr std::size_t kMessage = 1400;
+constexpr double kWarmupS = 6.0;
+constexpr double kWindowS = 10.0;
+/// Sender pacing: keep this much queued locally, no more (mimics a blocking
+/// socket writer with a bounded send buffer).
+constexpr std::size_t kSenderBacklog = 16 * 1024;
+
+struct World {
+  sim::Scheduler sched;
+  net::Network net{sched, 1};
+  net::SegmentId hub;
+  std::unique_ptr<mb::MbServer> mb_server;
+  std::unique_ptr<rmi::RmiRegistry> registry;
+  std::unique_ptr<rmi::RmiEchoService> rmi_service;
+  core::UsdlLibrary library;
+  std::unique_ptr<core::Runtime> runtime;
+
+  explicit World(bool half_duplex) {
+    net::SegmentSpec spec;
+    spec.name = "hub-10mbps";
+    spec.bandwidth_bps = 10e6;
+    spec.latency = sim::microseconds(100);
+    spec.shared_medium = half_duplex;
+    spec.contention_overhead = half_duplex ? 0.18 : 0.0;
+    hub = net.add_segment(spec);
+    for (const char* h : {"node1", "node2", "node3"}) {
+      (void)net.add_host(h);
+      (void)net.attach(h, hub);
+    }
+    mb_server = std::make_unique<mb::MbServer>(net, "node1");
+    (void)mb_server->start();
+    registry = std::make_unique<rmi::RmiRegistry>(net, "node3");
+    (void)registry->start();
+    rmi_service = std::make_unique<rmi::RmiEchoService>(net, "node3", 2001, "echo1",
+                                                        registry->endpoint());
+    (void)rmi_service->start();
+
+    mb::register_mb_usdl(library);
+    rmi::register_rmi_usdl(library);
+    runtime = std::make_unique<core::Runtime>(sched, net, "node2");
+    runtime->add_mapper(std::make_unique<mb::MbMapper>(mb_server->endpoint(), library));
+    runtime->add_mapper(std::make_unique<rmi::RmiMapper>(registry->endpoint(), library));
+    (void)runtime->start();
+  }
+
+  core::TranslatorProfile translator_for(const std::string& platform) {
+    auto profiles = runtime->directory().lookup(core::Query().platform(platform));
+    return profiles.empty() ? core::TranslatorProfile{} : profiles.front();
+  }
+};
+
+/// Drive a paced sender: `try_send` returns false when the backlog is full.
+void run_paced_sender(World& w, sim::TimePoint until, const std::function<bool()>& try_send) {
+  // Simple polling pump: attempt sends every 200 us of virtual time.
+  struct Pump {
+    World& w;
+    sim::TimePoint until;
+    std::function<bool()> try_send;
+    void operator()() {
+      if (w.sched.now() >= until) return;
+      while (w.sched.now() < until && try_send()) {
+      }
+      w.sched.schedule_after(sim::microseconds(200), Pump{w, until, try_send});
+    }
+  };
+  w.sched.post(Pump{w, until, try_send});
+  w.sched.run_until(until);
+}
+
+/// Drive a constant-rate sender: one send() per interval (slightly above the
+/// 10 Mbps line rate for 1400-B messages, so the system — not the source — is
+/// the bottleneck). The MB service's local hop to its co-located broker is
+/// loopback, so backlog-based pacing would not throttle it; real producers
+/// are clocked by their media source instead.
+void run_rate_sender(World& w, sim::TimePoint until, sim::Duration interval,
+                     const std::function<void()>& send) {
+  struct Pump {
+    World& w;
+    sim::TimePoint until;
+    sim::Duration interval;
+    std::function<void()> send;
+    void operator()() {
+      if (w.sched.now() >= until) return;
+      send();
+      w.sched.schedule_after(interval, Pump{w, until, interval, send});
+    }
+  };
+  w.sched.post(Pump{w, until, interval, send});
+  w.sched.run_until(until);
+}
+
+constexpr auto kSendInterval = sim::microseconds(1100);  // ≈10.2 Mbps offered
+
+double baseline_tcp(bool half_duplex) {
+  World w(half_duplex);
+  std::uint64_t received = 0;
+  net::StreamPtr server;
+  (void)w.net.listen({"node2", 9000}, [&](net::StreamPtr s) {
+    server = std::move(s);
+    server->on_data([&](std::span<const std::uint8_t> d) { received += d.size(); });
+  });
+  auto client = w.net.connect("node1", {"node2", 9000}).value();
+  w.sched.run_for(sim::seconds(1));
+
+  std::uint64_t start_received = received;
+  sim::TimePoint t0 = w.sched.now();
+  sim::TimePoint t_end = t0 + sim::Duration(static_cast<std::int64_t>(kWindowS * 1e9));
+  run_paced_sender(w, t_end, [&]() {
+    if (client->pending() >= kSenderBacklog) return false;
+    return client->send(Bytes(kMessage)).ok();
+  });
+  return static_cast<double>(received - start_received) * 8.0 / kWindowS / 1e6;
+}
+
+double mb_test(bool half_duplex) {
+  World w(half_duplex);
+  // The MB service: a producer on node1 plus a consumer of the echoed stream.
+  mb::MbClient producer(w.net, "node1", w.mb_server->endpoint());
+  mb::MbClient consumer(w.net, "node1", w.mb_server->endpoint());
+  (void)producer.connect();
+  (void)consumer.connect();
+  (void)producer.produce("bench", "application/octet-stream");
+  w.sched.run_for(sim::Duration(static_cast<std::int64_t>(kWarmupS * 1e9)));
+
+  core::TranslatorProfile mb_translator = w.translator_for("mb");
+  if (!mb_translator.id.valid()) return -1;
+  // Echo through uMiddle: translator consumes "bench", the path feeds its own
+  // produce port, which publishes "bench-out" — consumed back on node1.
+  (void)w.runtime->transport().connect(core::PortRef{mb_translator.id, "media-out"},
+                                       core::PortRef{mb_translator.id, "media-in"});
+  (void)consumer.consume("bench-out");
+  w.sched.run_for(sim::seconds(1));
+
+  std::uint64_t start = consumer.bytes_received();
+  sim::TimePoint t_end =
+      w.sched.now() + sim::Duration(static_cast<std::int64_t>(kWindowS * 1e9));
+  run_rate_sender(w, t_end, kSendInterval,
+                  [&]() { (void)producer.send("bench", Bytes(kMessage)); });
+  return static_cast<double>(consumer.bytes_received() - start) * 8.0 / kWindowS / 1e6;
+}
+
+double rmi_test(bool half_duplex) {
+  World w(half_duplex);
+  w.sched.run_for(sim::Duration(static_cast<std::int64_t>(kWarmupS * 1e9)));
+  core::TranslatorProfile rmi_translator = w.translator_for("rmi");
+  if (!rmi_translator.id.valid()) return -1;
+  // Self path: gateway output back into the synchronous deliver input.
+  (void)w.runtime->transport().connect(core::PortRef{rmi_translator.id, "data-out"},
+                                       core::PortRef{rmi_translator.id, "data-in"});
+  bool ready = false;
+  w.rmi_service->resolve_gateway([&](Result<void> r) { ready = r.ok(); });
+  w.sched.run_for(sim::seconds(1));
+  if (!ready) return -1;
+
+  // Self-clocked sender: one push outstanding at a time (RMI stubs block).
+  bool stop = false;
+  std::function<void()> push_next = [&]() {
+    if (stop) return;
+    w.rmi_service->push(Bytes(kMessage), [&](Result<void> r) {
+      if (r.ok()) push_next();
+    });
+  };
+  std::uint64_t start = w.rmi_service->received_bytes();
+  push_next();
+  w.sched.run_for(sim::Duration(static_cast<std::int64_t>(kWindowS * 1e9)));
+  stop = true;
+  double mbps =
+      static_cast<double>(w.rmi_service->received_bytes() - start) * 8.0 / kWindowS / 1e6;
+  w.sched.run_for(sim::seconds(5));  // bounded drain (mapper polling never idles)
+  return mbps;
+}
+
+double rmi_mb_test(bool half_duplex) {
+  World w(half_duplex);
+  mb::MbClient producer(w.net, "node1", w.mb_server->endpoint());
+  (void)producer.connect();
+  (void)producer.produce("feed", "application/octet-stream");
+  w.sched.run_for(sim::Duration(static_cast<std::int64_t>(kWarmupS * 1e9)));
+
+  core::TranslatorProfile mb_translator = w.translator_for("mb");
+  core::TranslatorProfile rmi_translator = w.translator_for("rmi");
+  if (!mb_translator.id.valid() || !rmi_translator.id.valid()) return -1;
+  (void)w.runtime->transport().connect(core::PortRef{mb_translator.id, "media-out"},
+                                       core::PortRef{rmi_translator.id, "data-in"});
+  w.sched.run_for(sim::seconds(1));
+
+  std::uint64_t start = w.rmi_service->received_bytes();
+  sim::TimePoint t_end =
+      w.sched.now() + sim::Duration(static_cast<std::int64_t>(kWindowS * 1e9));
+  run_rate_sender(w, t_end, kSendInterval,
+                  [&]() { (void)producer.send("feed", Bytes(kMessage)); });
+  double mbps =
+      static_cast<double>(w.rmi_service->received_bytes() - start) * 8.0 / kWindowS / 1e6;
+  return mbps;
+}
+
+struct TestRow {
+  const char* label;
+  double (*fn)(bool);
+  const char* paper;
+};
+
+constexpr TestRow kTests[] = {
+    {"TCP baseline", baseline_tcp, "7.9"},
+    {"MB test", mb_test, "6.2"},
+    {"RMI test", rmi_test, "3.2"},
+    {"RMI-MB test", rmi_mb_test, "2.9"},
+};
+
+void print_table() {
+  std::printf("\n=== Figure 11: transport-level bridging (1400-B messages, 10 Mbps) ===\n");
+  std::printf("%-14s %16s %16s   %s\n", "test", "hub[Mbps]", "switch[Mbps]", "paper[Mbps]");
+  for (const TestRow& t : kTests) {
+    std::fprintf(stderr, "[fig11] running %s (hub)...\n", t.label);
+    double hub = t.fn(true);
+    std::fprintf(stderr, "[fig11] running %s (switch)...\n", t.label);
+    double sw = t.fn(false);
+    std::printf("%-14s %16.2f %16.2f   %s\n", t.label, hub, sw, t.paper);
+    std::fflush(stdout);
+  }
+  std::printf("(hub = strict half-duplex shared medium; switch = non-blocking full duplex)\n\n");
+}
+
+void BM_Transport(benchmark::State& state, double (*fn)(bool)) {
+  double mbps = 0;
+  for (auto _ : state) {
+    mbps = fn(true);
+    state.SetIterationTime(kWindowS);
+  }
+  state.counters["Mbps"] = mbps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (const TestRow& t : kTests) {
+    benchmark::RegisterBenchmark((std::string("Fig11/") + t.label).c_str(),
+                                 [fn = t.fn](benchmark::State& state) {
+                                   BM_Transport(state, fn);
+                                 })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

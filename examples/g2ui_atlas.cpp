@@ -1,0 +1,93 @@
+// G2 UI Atlas (paper §4.2, Figure 9): geographic co-location drives media flow.
+//
+// Gadgets are placed on a floor plan. Dragging the Bluetooth camera next to
+// the UPnP TV starts a *geoplay* session (camera images render on the TV);
+// dragging it next to the storage gadget instead starts a *geostore* session
+// (images are archived). Moving a gadget away ends its sessions.
+#include <iostream>
+
+#include "apps/g2ui.hpp"
+#include "bluetooth/bip.hpp"
+#include "bluetooth/mapper.hpp"
+#include "common/log.hpp"
+#include "core/umiddle.hpp"
+#include "upnp/devices.hpp"
+#include "upnp/mapper.hpp"
+
+using namespace umiddle;
+
+int main() {
+  umiddle::log::enable_stderr(umiddle::log::Level::warn);
+
+  sim::Scheduler sched;
+  net::Network net(sched);
+  net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+  for (const char* host : {"atlas-node", "tv-host"}) {
+    if (!net.add_host(host).ok() || !net.attach(host, lan).ok()) return 1;
+  }
+
+  bt::BluetoothMedium piconet(net);
+  bt::BipCamera camera(piconet, "Pocket camera");
+  upnp::MediaRendererTv tv(net, "tv-host", 8000, "Kitchen TV");
+  if (!camera.power_on().ok() || !tv.start().ok()) return 1;
+
+  core::UsdlLibrary library;
+  bt::register_bt_usdl(library);
+  upnp::register_upnp_usdl(library);
+  core::Runtime runtime(sched, net, "atlas-node");
+  runtime.add_mapper(std::make_unique<bt::BtMapper>(piconet, library));
+  runtime.add_mapper(std::make_unique<upnp::UpnpMapper>(library));
+  if (!runtime.start().ok()) return 1;
+
+  // A native storage gadget (geostore target).
+  auto storage = std::make_unique<core::CollectorDevice>(
+      "Media storage", core::make_sink_shape("archive-in", MimeType::of("image/*")));
+  core::CollectorDevice* storage_raw = storage.get();
+  auto storage_id = runtime.map(std::move(storage)).take();
+
+  sched.run_for(sim::seconds(4));
+
+  auto cams = runtime.directory().lookup(
+      core::Query().digital_output(MimeType::of("image/jpeg")).platform("bluetooth"));
+  auto tvs = runtime.directory().lookup(
+      core::Query().digital_input(MimeType::of("image/*")).platform("upnp"));
+  if (cams.empty() || tvs.empty()) {
+    std::cerr << "discovery incomplete\n";
+    return 1;
+  }
+
+  apps::G2UI atlas(runtime, /*radius=*/5.0);
+  // Floor plan: TV in the kitchen (0,0), storage in the study (100,100),
+  // camera starts in the hallway (50,50) — near nothing.
+  if (!atlas.place(tvs[0].id, {0, 0}).ok() ||
+      !atlas.place(storage_id, {100, 100}).ok() ||
+      !atlas.place(cams[0].id, {50, 50}).ok()) {
+    return 1;
+  }
+  std::cout << "Placed 3 gadgets; sessions: " << atlas.sessions().size() << "\n";
+
+  // Drag the camera next to the TV → geoplay.
+  (void)atlas.move(cams[0].id, {2, 1});
+  std::cout << "Camera moved beside TV; sessions: " << atlas.sessions().size() << "\n";
+  for (const auto& s : atlas.sessions()) std::cout << "  " << s.description << "\n";
+  camera.shutter(Bytes(18000, 0xD8), "geoplay.jpg");
+  sched.run_for(sim::seconds(3));
+  std::cout << "TV rendered " << tv.rendered().size() << " image(s)\n";
+
+  // Drag the camera to the study → geoplay ends, geostore begins.
+  (void)atlas.move(cams[0].id, {99, 99});
+  std::cout << "Camera moved beside storage; sessions: " << atlas.sessions().size() << "\n";
+  camera.shutter(Bytes(22000, 0xD8), "geostore.jpg");
+  sched.run_for(sim::seconds(3));
+  std::cout << "Storage archived " << storage_raw->count() << " image(s)\n";
+
+  // Shoot once more from the hallway: no co-location, nothing flows.
+  (void)atlas.move(cams[0].id, {50, 50});
+  camera.shutter(Bytes(10000, 0xD8), "nowhere.jpg");
+  sched.run_for(sim::seconds(3));
+
+  bool ok = tv.rendered().size() == 1 && storage_raw->count() == 1 &&
+            atlas.sessions().empty();
+  std::cout << (ok ? "G2UI ATLAS OK" : "G2UI ATLAS INCOMPLETE") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// usdl_lint: validate a USDL document and describe the translators it would
+// generate — the developer-facing side of §3.4 ("USDL documents describe how
+// mappers configure translators for specific devices given a generic
+// translator implementation").
+//
+// Usage:
+//   usdl_lint <file.usdl>     validate a document from disk
+//   usdl_lint --builtin       lint and describe every built-in document
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bluetooth/mapper.hpp"
+#include "core/umiddle.hpp"
+#include "mediabroker/mapper.hpp"
+#include "motes/mapper.hpp"
+#include "rmi/mapper.hpp"
+#include "upnp/mapper.hpp"
+#include "webservice/mapper.hpp"
+
+using namespace umiddle;
+
+namespace {
+
+void describe(const core::UsdlService& service) {
+  std::cout << "service \"" << service.name << "\"\n";
+  std::cout << "  platform:  " << service.platform << "\n";
+  std::cout << "  match key: " << service.match << "\n";
+  if (service.hierarchy_entities > 0) {
+    std::cout << "  hierarchy entities: " << service.hierarchy_entities << "\n";
+  }
+  core::CostModel costs;
+  std::cout << "  instantiation cost: "
+            << sim::to_millis(costs.instantiation_cost(service.shape.size(),
+                                                       service.hierarchy_entities))
+            << " ms (" << service.shape.size() << " ports)\n";
+  std::cout << "  shape:\n";
+  for (const core::PortSpec& port : service.shape.ports()) {
+    std::cout << "    " << (port.direction == core::Direction::input ? " in" : "out") << " "
+              << (port.kind == core::PortKind::digital ? "digital " : "physical") << " "
+              << port.name << " : " << port.type.to_string();
+    if (!port.description.empty()) std::cout << "  — " << port.description;
+    std::cout << "\n";
+  }
+  if (!service.bindings.empty()) {
+    std::cout << "  bindings:\n";
+    for (const core::UsdlBinding& b : service.bindings) {
+      std::cout << "    " << b.port << " [" << b.kind << "]";
+      if (!b.emit_port.empty()) std::cout << " -> emit " << b.emit_port;
+      for (const auto& [k, v] : b.native.attrs) std::cout << " " << k << "=" << v;
+      std::cout << "\n";
+    }
+  }
+  std::cout << "\n";
+}
+
+int lint_text(const std::string& label, const std::string& text) {
+  auto doc = core::parse_usdl(text);
+  if (!doc.ok()) {
+    std::cout << label << ": INVALID — " << doc.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << label << ": OK (" << doc.value().services.size() << " service(s))\n";
+  for (const core::UsdlService& s : doc.value().services) describe(s);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--builtin") {
+    core::UsdlLibrary library;
+    upnp::register_upnp_usdl(library);
+    bt::register_bt_usdl(library);
+    rmi::register_rmi_usdl(library);
+    mb::register_mb_usdl(library);
+    motes::register_motes_usdl(library);
+    ws::register_ws_usdl(library);
+    std::cout << "built-in USDL library: " << library.size() << " services\n\n";
+    for (const char* platform : {"upnp", "bluetooth", "rmi", "mb", "motes", "ws"}) {
+      for (const core::UsdlService* s : library.services_for(platform)) describe(*s);
+    }
+    return 0;
+  }
+  if (argc != 2) {
+    std::cerr << "usage: usdl_lint <file.usdl> | --builtin\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "cannot open " << argv[1] << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return lint_text(argv[1], text.str());
+}

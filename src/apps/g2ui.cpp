@@ -1,0 +1,120 @@
+#include "apps/g2ui.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace umiddle::apps {
+
+G2UI::G2UI(core::Runtime& runtime, double radius) : runtime_(runtime), radius_(radius) {
+  runtime_.directory().add_directory_listener(this);
+}
+
+G2UI::~G2UI() { runtime_.directory().remove_directory_listener(this); }
+
+double G2UI::distance(GeoPoint a, GeoPoint b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+Result<void> G2UI::place(TranslatorId gadget, GeoPoint at) {
+  if (runtime_.directory().profile(gadget) == nullptr) {
+    return make_error(Errc::not_found, "gadget not in directory: " + gadget.to_string());
+  }
+  gadgets_[gadget] = at;
+  reevaluate();
+  return ok_result();
+}
+
+Result<void> G2UI::move(TranslatorId gadget, GeoPoint to) {
+  auto it = gadgets_.find(gadget);
+  if (it == gadgets_.end()) {
+    return make_error(Errc::not_found, "gadget not placed: " + gadget.to_string());
+  }
+  it->second = to;
+  reevaluate();
+  return ok_result();
+}
+
+void G2UI::remove(TranslatorId gadget) {
+  gadgets_.erase(gadget);
+  reevaluate();
+}
+
+std::optional<GeoPoint> G2UI::location(TranslatorId gadget) const {
+  auto it = gadgets_.find(gadget);
+  return it == gadgets_.end() ? std::nullopt : std::optional<GeoPoint>(it->second);
+}
+
+void G2UI::on_unmapped(const core::TranslatorProfile& profile) {
+  if (gadgets_.erase(profile.id) > 0) reevaluate();
+}
+
+bool G2UI::session_exists(TranslatorId source, TranslatorId sink) const {
+  for (const Session& s : sessions_) {
+    if (s.source == source && s.sink == sink) return true;
+  }
+  return false;
+}
+
+void G2UI::end_sessions_between(TranslatorId a, TranslatorId b) {
+  std::erase_if(sessions_, [&](const Session& s) {
+    bool between = (s.source == a && s.sink == b) || (s.source == b && s.sink == a);
+    if (between) {
+      (void)runtime_.transport().disconnect(s.path);
+      log::Entry(log::Level::info, "g2ui") << "session ended: " << s.description;
+    }
+    return between;
+  });
+}
+
+void G2UI::connect_pair(const core::TranslatorProfile& a, const core::TranslatorProfile& b) {
+  if (session_exists(a.id, b.id)) return;
+  for (const core::PortSpec* out : a.shape.digital_outputs()) {
+    for (const core::PortSpec* in : b.shape.digital_inputs()) {
+      if (!core::PortSpec::connectable(*out, *in)) continue;
+      auto path = runtime_.transport().connect(core::PortRef{a.id, out->name},
+                                               core::PortRef{b.id, in->name});
+      if (!path.ok()) continue;
+      Session session;
+      session.path = path.value();
+      session.source = a.id;
+      session.sink = b.id;
+      session.description =
+          a.name + "." + out->name + " ~> " + b.name + "." + in->name + " (geo)";
+      log::Entry(log::Level::info, "g2ui") << "session started: " << session.description;
+      sessions_.push_back(std::move(session));
+      // One session per direction per pair: first compatible port pair wins,
+      // mirroring the paper's "playback of media acquired from one or more
+      // co-located" devices without double-wiring the same content.
+      return;
+    }
+  }
+}
+
+void G2UI::reevaluate() {
+  // End sessions whose gadgets separated or left.
+  std::vector<std::pair<TranslatorId, TranslatorId>> to_end;
+  for (const Session& s : sessions_) {
+    auto src = gadgets_.find(s.source);
+    auto dst = gadgets_.find(s.sink);
+    if (src == gadgets_.end() || dst == gadgets_.end() ||
+        distance(src->second, dst->second) > radius_) {
+      to_end.emplace_back(s.source, s.sink);
+    }
+  }
+  for (const auto& [a, b] : to_end) end_sessions_between(a, b);
+
+  // Start sessions for newly co-located compatible pairs (both directions).
+  for (auto ia = gadgets_.begin(); ia != gadgets_.end(); ++ia) {
+    for (auto ib = std::next(ia); ib != gadgets_.end(); ++ib) {
+      if (distance(ia->second, ib->second) > radius_) continue;
+      const core::TranslatorProfile* pa = runtime_.directory().profile(ia->first);
+      const core::TranslatorProfile* pb = runtime_.directory().profile(ib->first);
+      if (pa == nullptr || pb == nullptr) continue;
+      connect_pair(*pa, *pb);
+      connect_pair(*pb, *pa);
+    }
+  }
+}
+
+}  // namespace umiddle::apps

@@ -1,0 +1,77 @@
+// G2 UI — Geographical User Interface (paper §4.2).
+//
+// A real-world UI toolkit: gadgets (media storage, player, and capture
+// devices) are registered at coordinates in a geographical space, and
+// *co-location* of compatible gadgets triggers media flow:
+//
+//   geoplay  — a player renders media acquired from a co-located storage or
+//              capture device;
+//   geostore — a storage device records data from a co-located capture device.
+//
+// Because this runs on uMiddle's intermediary semantic space, the gadgets may
+// live on any platform: co-locate a Bluetooth camera and a UPnP MediaRenderer
+// TV and "the images in the camera serve as the source for the TV via a
+// uMiddle dynamic message path."
+//
+// Mechanically: whenever two gadgets are within `radius`, every compatible
+// (digital output → digital input) port pair between them is connected; when
+// they separate, the session is torn down.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/umiddle.hpp"
+
+namespace umiddle::apps {
+
+struct GeoPoint {
+  double x = 0;
+  double y = 0;
+};
+
+class G2UI final : public core::DirectoryListener {
+ public:
+  explicit G2UI(core::Runtime& runtime, double radius = 5.0);
+  ~G2UI() override;
+  G2UI(const G2UI&) = delete;
+  G2UI& operator=(const G2UI&) = delete;
+
+  /// Register a gadget at a location. The translator must be in the directory.
+  Result<void> place(TranslatorId gadget, GeoPoint at);
+  /// Move a gadget; co-location sessions are re-evaluated.
+  Result<void> move(TranslatorId gadget, GeoPoint to);
+  /// Remove a gadget from the space (its sessions end).
+  void remove(TranslatorId gadget);
+
+  std::optional<GeoPoint> location(TranslatorId gadget) const;
+  std::size_t gadget_count() const { return gadgets_.size(); }
+
+  /// An active media flow between two co-located gadgets.
+  struct Session {
+    PathId path;
+    TranslatorId source;
+    TranslatorId sink;
+    std::string description;
+  };
+  const std::vector<Session>& sessions() const { return sessions_; }
+
+  // DirectoryListener: gadgets whose translators vanish leave the space.
+  void on_mapped(const core::TranslatorProfile&) override {}
+  void on_unmapped(const core::TranslatorProfile& profile) override;
+
+ private:
+  static double distance(GeoPoint a, GeoPoint b);
+  void reevaluate();
+  /// Open sessions for every compatible port pair between two gadgets.
+  void connect_pair(const core::TranslatorProfile& a, const core::TranslatorProfile& b);
+  bool session_exists(TranslatorId source, TranslatorId sink) const;
+  void end_sessions_between(TranslatorId a, TranslatorId b);
+
+  core::Runtime& runtime_;
+  double radius_;
+  std::map<TranslatorId, GeoPoint> gadgets_;
+  std::vector<Session> sessions_;
+};
+
+}  // namespace umiddle::apps

@@ -1,0 +1,121 @@
+#include "apps/pads.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace umiddle::apps {
+
+Pads::Pads(core::Runtime& runtime) : runtime_(runtime) {
+  runtime_.directory().add_directory_listener(this);
+}
+
+Pads::~Pads() { runtime_.directory().remove_directory_listener(this); }
+
+std::vector<core::TranslatorProfile> Pads::icons() const {
+  auto profiles = runtime_.directory().lookup(core::Query{});
+  std::sort(profiles.begin(), profiles.end(),
+            [](const core::TranslatorProfile& a, const core::TranslatorProfile& b) {
+              return a.name != b.name ? a.name < b.name : a.id < b.id;
+            });
+  return profiles;
+}
+
+Result<core::TranslatorProfile> Pads::icon(const std::string& name) const {
+  const core::TranslatorProfile* found = nullptr;
+  for (const core::TranslatorProfile& p : runtime_.directory().lookup(core::Query{})) {
+    if (p.name != name) continue;
+    if (found != nullptr) {
+      return make_error(Errc::invalid_argument, "ambiguous icon name: " + name);
+    }
+    // lookup() returns by value; re-fetch through the directory for a stable ref.
+    found = runtime_.directory().profile(p.id);
+  }
+  if (found == nullptr) return make_error(Errc::not_found, "no icon named: " + name);
+  return *found;
+}
+
+Result<PathId> Pads::wire(const std::string& src_icon, const std::string& src_port,
+                          const std::string& dst_icon, const std::string& dst_port,
+                          core::QosPolicy qos) {
+  auto src = icon(src_icon);
+  if (!src.ok()) return src.error();
+  auto dst = icon(dst_icon);
+  if (!dst.ok()) return dst.error();
+  auto path = runtime_.transport().connect(core::PortRef{src.value().id, src_port},
+                                           core::PortRef{dst.value().id, dst_port}, qos);
+  if (!path.ok()) return path;
+  wires_.push_back(WireRef{path.value(), src_icon + "." + src_port + " -> " + dst_icon +
+                                             "." + dst_port});
+  wire_endpoints_.emplace_back(src.value().id, path.value());
+  wire_endpoints_.emplace_back(dst.value().id, path.value());
+  return path;
+}
+
+Result<PathId> Pads::wire_to_query(const std::string& src_icon, const std::string& src_port,
+                                   core::Query query, core::QosPolicy qos) {
+  auto src = icon(src_icon);
+  if (!src.ok()) return src.error();
+  auto path = runtime_.transport().connect(core::PortRef{src.value().id, src_port},
+                                           std::move(query), qos);
+  if (!path.ok()) return path;
+  wires_.push_back(WireRef{path.value(), src_icon + "." + src_port + " -> <query>"});
+  wire_endpoints_.emplace_back(src.value().id, path.value());
+  return path;
+}
+
+Result<void> Pads::unwire(PathId path) {
+  auto r = runtime_.transport().disconnect(path);
+  if (!r.ok()) return r;
+  std::erase_if(wires_, [path](const WireRef& w) { return w.path == path; });
+  std::erase_if(wire_endpoints_, [path](const auto& e) { return e.second == path; });
+  return ok_result();
+}
+
+void Pads::on_mapped(const core::TranslatorProfile&) {}
+
+void Pads::on_unmapped(const core::TranslatorProfile& profile) {
+  // Drop wires referencing the vanished translator (the transport already tore
+  // the paths down; this keeps the board display consistent).
+  std::vector<PathId> stale;
+  for (const auto& [translator, path] : wire_endpoints_) {
+    if (translator == profile.id) stale.push_back(path);
+  }
+  for (PathId path : stale) {
+    std::erase_if(wires_, [path](const WireRef& w) { return w.path == path; });
+    std::erase_if(wire_endpoints_, [path](const auto& e) { return e.second == path; });
+  }
+}
+
+std::string Pads::render() const {
+  std::ostringstream out;
+  out << "=== uMiddle Pads ===\n";
+  // Group icons by platform, like the Figure 8 board clusters them.
+  std::vector<core::TranslatorProfile> board = icons();
+  std::stable_sort(board.begin(), board.end(),
+                   [](const core::TranslatorProfile& a, const core::TranslatorProfile& b) {
+                     return a.platform < b.platform;
+                   });
+  std::string platform;
+  for (const core::TranslatorProfile& p : board) {
+    if (p.platform != platform) {
+      platform = p.platform;
+      out << "[" << platform << "]\n";
+    }
+    out << "  (" << p.id.to_string() << ") " << p.name << "  {";
+    bool first = true;
+    for (const core::PortSpec& port : p.shape.ports()) {
+      if (!first) out << ", ";
+      first = false;
+      out << (port.direction == core::Direction::input ? ">" : "<") << port.name << ":"
+          << port.type.to_string();
+    }
+    out << "}\n";
+  }
+  out << "--- wires ---\n";
+  for (const WireRef& w : wires_) {
+    out << "  " << w.description << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace umiddle::apps

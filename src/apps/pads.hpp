@@ -1,0 +1,63 @@
+// uMiddle Pads (paper §4.1): a GUI-based application generator providing
+// cross-platform "virtual cabling" — the user composes devices by drawing
+// lines between translator icons, without caring whether they are Bluetooth,
+// UPnP, or anything else.
+//
+// This library is the engine behind that GUI: (1) a live view of the
+// intermediary semantic space (the icons), (2) hot-wiring between translators
+// by name, backed by the transport's message paths, and (3) an ASCII rendering
+// of the board (what the paper's Figure 8 screenshot shows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/umiddle.hpp"
+
+namespace umiddle::apps {
+
+class Pads final : public core::DirectoryListener {
+ public:
+  explicit Pads(core::Runtime& runtime);
+  ~Pads() override;
+  Pads(const Pads&) = delete;
+  Pads& operator=(const Pads&) = delete;
+
+  // --- (1) the board: icons for every translator in the semantic space -------
+  /// All known translators, sorted by name (stable icon order).
+  std::vector<core::TranslatorProfile> icons() const;
+  /// Resolve an icon by (unique) name; error when absent or ambiguous.
+  Result<core::TranslatorProfile> icon(const std::string& name) const;
+
+  // --- (2) hot-wiring ----------------------------------------------------------
+  struct WireRef {
+    PathId path;
+    std::string description;  ///< "Camera.image-out -> TV.image-in"
+  };
+
+  /// Draw a wire between two named icons' ports.
+  Result<PathId> wire(const std::string& src_icon, const std::string& src_port,
+                      const std::string& dst_icon, const std::string& dst_port,
+                      core::QosPolicy qos = {});
+  /// Draw a dynamic wire: src port to every icon matching the query (§3.5).
+  Result<PathId> wire_to_query(const std::string& src_icon, const std::string& src_port,
+                               core::Query query, core::QosPolicy qos = {});
+  Result<void> unwire(PathId path);
+  const std::vector<WireRef>& wires() const { return wires_; }
+
+  // --- (3) rendering -----------------------------------------------------------
+  /// Text rendering of the board: icons grouped by platform, then the wires.
+  std::string render() const;
+
+  // DirectoryListener: keep the board fresh; drop wires whose ends vanished.
+  void on_mapped(const core::TranslatorProfile& profile) override;
+  void on_unmapped(const core::TranslatorProfile& profile) override;
+
+ private:
+  core::Runtime& runtime_;
+  std::vector<WireRef> wires_;
+  /// Wires by the translators they reference, for cleanup on unmap.
+  std::vector<std::pair<TranslatorId, PathId>> wire_endpoints_;
+};
+
+}  // namespace umiddle::apps

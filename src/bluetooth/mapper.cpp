@@ -1,0 +1,264 @@
+#include "bluetooth/mapper.hpp"
+
+#include "common/log.hpp"
+#include "xml/xml.hpp"
+
+namespace umiddle::bt {
+
+// --- BtTranslator -----------------------------------------------------------------
+
+BtTranslator::BtTranslator(BtMapper& mapper, BtDeviceInfo device, SdpRecord record,
+                           const core::UsdlService& usdl)
+    : Translator(device.name, "bluetooth", record.service_uuid, usdl.shape),
+      mapper_(mapper), device_(std::move(device)), record_(std::move(record)), usdl_(usdl) {
+  set_hierarchy_entities(usdl.hierarchy_entities);
+}
+
+BtTranslator::~BtTranslator() { *alive_ = false; }
+
+bool BtTranslator::ready(const std::string&) const { return !busy_; }
+
+void BtTranslator::on_mapped() {
+  for (const core::UsdlBinding& binding : usdl_.bindings) {
+    if (binding.kind == "obex-push-sink") setup_push_sink(binding);
+    if (binding.kind == "hid-events") setup_hid_events(binding);
+  }
+}
+
+void BtTranslator::on_unmapped() {
+  *alive_ = false;
+  if (sink_psm_ != 0) mapper_.adapter().stop_psm(sink_psm_);
+  if (hid_channel_) hid_channel_->close();
+}
+
+Result<void> BtTranslator::deliver(const std::string& port, const core::Message& msg) {
+  for (const core::UsdlBinding* binding : usdl_.bindings_for(port)) {
+    if (binding->kind == "obex-get") {
+      run_obex_get(*binding);
+      return ok_result();
+    }
+    if (binding->kind == "obex-put") {
+      run_obex_put(*binding, msg);
+      return ok_result();
+    }
+  }
+  return make_error(Errc::unsupported, "no input binding for port " + port);
+}
+
+void BtTranslator::emit_object(const std::string& port, const obex::Object& object) {
+  const core::PortSpec* spec = profile().shape.find(port);
+  if (spec == nullptr || !mapped()) return;
+  core::Message msg;
+  msg.type = spec->type.is_wildcard() ? MimeType::of("application/octet-stream") : spec->type;
+  msg.payload = object.data;
+  if (!object.name.empty()) msg.meta["filename"] = object.name;
+  (void)emit(port, std::move(msg));
+}
+
+void BtTranslator::finish_operation() {
+  busy_ = false;
+  if (mapped()) runtime()->notify_ready(profile().id);
+}
+
+void BtTranslator::run_obex_get(const core::UsdlBinding& binding) {
+  busy_ = true;
+  auto stream = mapper_.medium().l2cap_connect(mapper_.adapter().host(), device_.address,
+                                               record_.psm);
+  if (!stream.ok()) {
+    log::Entry(log::Level::warn, "bt") << "GET connect failed: " << stream.error().to_string();
+    finish_operation();
+    return;
+  }
+  std::string emit_port = binding.emit_port;
+  obex::Client::get(stream.value(), binding.native.attr("type"), "",
+                    [this, alive = alive_, emit_port](Result<obex::Object> object) {
+                      if (!*alive) return;
+                      if (object.ok() && !emit_port.empty()) {
+                        emit_object(emit_port, object.value());
+                      } else if (!object.ok()) {
+                        log::Entry(log::Level::warn, "bt")
+                            << "OBEX GET failed: " << object.error().to_string();
+                      }
+                      finish_operation();
+                    });
+}
+
+void BtTranslator::run_obex_put(const core::UsdlBinding& binding, const core::Message& msg) {
+  busy_ = true;
+  auto stream = mapper_.medium().l2cap_connect(mapper_.adapter().host(), device_.address,
+                                               record_.psm);
+  if (!stream.ok()) {
+    log::Entry(log::Level::warn, "bt") << "PUT connect failed: " << stream.error().to_string();
+    finish_operation();
+    return;
+  }
+  obex::Object object;
+  object.type = binding.native.attr("type");
+  auto name = msg.meta.find("filename");
+  object.name = name != msg.meta.end() ? name->second : "object";
+  object.data = msg.payload;
+  obex::Client::put(stream.value(), std::move(object), [this, alive = alive_](Result<void> r) {
+    if (!*alive) return;
+    if (!r.ok()) {
+      log::Entry(log::Level::warn, "bt") << "OBEX PUT failed: " << r.error().to_string();
+    }
+    finish_operation();
+  });
+}
+
+void BtTranslator::setup_push_sink(const core::UsdlBinding& binding) {
+  sink_psm_ = mapper_.allocate_psm();
+  std::string port = binding.port;
+  sink_server_ = std::make_unique<obex::Server>(
+      [this, alive = alive_, port](const obex::Object& object) {
+        if (!*alive) return;
+        emit_object(port, object);
+      },
+      nullptr);
+  auto listen = mapper_.adapter().listen_psm(
+      sink_psm_, [this](net::StreamPtr stream) { sink_server_->attach(std::move(stream)); });
+  if (!listen.ok()) {
+    log::Entry(log::Level::warn, "bt") << "sink listen failed: " << listen.error().to_string();
+    return;
+  }
+  // Register ourselves as the device's push target: OBEX PUT of a small
+  // registration object carrying "adapter-address:psm".
+  auto stream = mapper_.medium().l2cap_connect(mapper_.adapter().host(), device_.address,
+                                               record_.psm);
+  if (!stream.ok()) {
+    log::Entry(log::Level::warn, "bt")
+        << "push registration connect failed: " << stream.error().to_string();
+    return;
+  }
+  obex::Object registration;
+  registration.type = binding.native.attr("register");
+  registration.name = "push-target";
+  registration.data = to_bytes(std::to_string(mapper_.adapter().address()) + ":" +
+                               std::to_string(sink_psm_));
+  obex::Client::put(stream.value(), std::move(registration), [](Result<void> r) {
+    if (!r.ok()) {
+      log::Entry(log::Level::warn, "bt")
+          << "push registration failed: " << r.error().to_string();
+    }
+  });
+}
+
+void BtTranslator::setup_hid_events(const core::UsdlBinding& binding) {
+  auto stream = mapper_.medium().l2cap_connect(mapper_.adapter().host(), device_.address,
+                                               record_.psm);
+  if (!stream.ok()) {
+    log::Entry(log::Level::warn, "bt")
+        << "interrupt channel connect failed: " << stream.error().to_string();
+    return;
+  }
+  hid_channel_ = stream.value();
+  std::string port = binding.port;
+  hid_channel_->on_data([this, alive = alive_, port](std::span<const std::uint8_t> chunk) {
+    if (!*alive) return;
+    handle_hid_bytes(port, chunk);
+  });
+}
+
+void BtTranslator::handle_hid_bytes(const std::string& port,
+                                    std::span<const std::uint8_t> chunk) {
+  hid_buffer_.insert(hid_buffer_.end(), chunk.begin(), chunk.end());
+  while (hid_buffer_.size() >= 5) {
+    auto report = MouseReport::decode(std::span(hid_buffer_).subspan(0, 5));
+    hid_buffer_.erase(hid_buffer_.begin(), hid_buffer_.begin() + 5);
+    if (!report.ok()) continue;  // skip malformed transaction byte-by-byte? whole frame dropped
+    // Translate the HID report into a VML document (§5.2), charging the
+    // 2006-stack translation cost in virtual time.
+    MouseReport r = report.value();
+    mapper_.runtime().scheduler().schedule_after(
+        mapper_.costs().vml_translate, [this, alive = alive_, port, r]() {
+          if (!*alive || !mapped()) return;
+          xml::Element vml("vml");
+          vml.set_attr("xmlns", "urn:schemas-microsoft-com:vml");
+          xml::Element& ev = vml.add_child("event");
+          ev.set_attr("type", r.buttons != 0 ? "button" : "move");
+          ev.set_attr("buttons", std::to_string(r.buttons));
+          ev.set_attr("dx", std::to_string(r.dx));
+          ev.set_attr("dy", std::to_string(r.dy));
+          const core::PortSpec* spec = profile().shape.find(port);
+          if (spec == nullptr) return;
+          ++events_emitted_;
+          (void)emit(port, core::Message::text(spec->type, vml.to_string()));
+        });
+  }
+}
+
+// --- BtMapper --------------------------------------------------------------------------
+
+BtMapper::BtMapper(BluetoothMedium& medium, const core::UsdlLibrary& library, BtCosts costs)
+    : Mapper("bluetooth"), medium_(medium), library_(library), costs_(costs) {}
+
+BtMapper::~BtMapper() = default;
+
+void BtMapper::start(core::Runtime& runtime) {
+  runtime_ = &runtime;
+  if (auto r = medium_.attach_host(runtime.host()); !r.ok()) {
+    log::Entry(log::Level::error, "bt") << "cannot join radio: " << r.error().to_string();
+    return;
+  }
+  adapter_ = std::make_unique<BtAdapter>(medium_, runtime.host());
+  if (auto r = adapter_->power_on(); !r.ok()) {
+    log::Entry(log::Level::error, "bt") << "adapter power-on failed: " << r.error().to_string();
+    return;
+  }
+  listener_tokens_.push_back(
+      medium_.add_device_listener([this](const BtDeviceInfo& info) { handle_device(info); }));
+  listener_tokens_.push_back(medium_.add_device_gone_listener(
+      [this](const BtDeviceInfo& info) { handle_device_gone(info); }));
+}
+
+void BtMapper::stop() {
+  for (std::uint64_t token : listener_tokens_) medium_.remove_listener(token);
+  listener_tokens_.clear();
+  if (adapter_) adapter_->power_off();
+}
+
+void BtMapper::handle_device(const BtDeviceInfo& info) {
+  if (runtime_ == nullptr || adapter_ == nullptr) return;
+  if (info.address == adapter_->address()) return;  // ourselves
+  if (by_address_.count(info.address) != 0) return;
+
+  // Service-level bridging: SDP query, match records against USDL, import.
+  sdp_query(medium_, adapter_->host(), info.address, "*",
+            [this, info](Result<std::vector<SdpRecord>> records) {
+              if (!records.ok()) {
+                log::Entry(log::Level::warn, "bt")
+                    << "SDP query failed for " << info.name << ": "
+                    << records.error().to_string();
+                return;
+              }
+              for (const SdpRecord& record : records.value()) {
+                const core::UsdlService* usdl =
+                    library_.find("bluetooth", record.service_uuid);
+                if (usdl == nullptr) continue;
+                auto translator =
+                    std::make_unique<BtTranslator>(*this, info, record, *usdl);
+                BtAddress address = info.address;
+                runtime_->instantiate(
+                    std::move(translator), [this, address](Result<TranslatorId> r) {
+                      if (!r.ok()) {
+                        log::Entry(log::Level::warn, "bt")
+                            << "instantiate failed: " << r.error().to_string();
+                        return;
+                      }
+                      by_address_[address] = r.value();
+                    });
+                return;  // one translator per device
+              }
+              log::Entry(log::Level::info, "bt")
+                  << "no USDL match for " << info.name << "; not bridged";
+            });
+}
+
+void BtMapper::handle_device_gone(const BtDeviceInfo& info) {
+  auto it = by_address_.find(info.address);
+  if (it == by_address_.end() || runtime_ == nullptr) return;
+  (void)runtime_->unmap(it->second);
+  by_address_.erase(it);
+}
+
+}  // namespace umiddle::bt

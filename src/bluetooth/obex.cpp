@@ -1,0 +1,421 @@
+#include "bluetooth/obex.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace umiddle::bt::obex {
+namespace {
+
+constexpr std::uint16_t kMaxPacket = 0xFFFF;
+/// Body bytes carried per PUT/GET response packet.
+constexpr std::size_t kChunk = 32000;
+
+enum class HeaderClass { text, bytes, u32 };
+
+HeaderClass header_class(std::uint8_t id) {
+  switch (id >> 6) {
+    case 0: return HeaderClass::text;
+    case 1: return HeaderClass::bytes;
+    default: return HeaderClass::u32;
+  }
+}
+
+}  // namespace
+
+const Header* Packet::header(std::uint8_t id) const {
+  for (const Header& h : headers) {
+    if (h.id == id) return &h;
+  }
+  return nullptr;
+}
+
+std::string Packet::text(std::uint8_t id) const {
+  const Header* h = header(id);
+  if (h == nullptr) return {};
+  if (const auto* s = std::get_if<std::string>(&h->value)) return *s;
+  if (const auto* b = std::get_if<Bytes>(&h->value)) return umiddle::to_string(*b);
+  return {};
+}
+
+Bytes Packet::body() const {
+  Bytes out;
+  for (const Header& h : headers) {
+    if (h.id != kHdrBody && h.id != kHdrEndOfBody) continue;
+    const auto* b = std::get_if<Bytes>(&h.value);
+    if (b != nullptr) out.insert(out.end(), b->begin(), b->end());
+  }
+  return out;
+}
+
+Bytes Packet::encode() const {
+  ByteWriter body;
+  if (max_packet.has_value()) {
+    body.u8(0x10);  // OBEX version 1.0
+    body.u8(0x00);  // flags
+    body.u16(*max_packet);
+  }
+  for (const Header& h : headers) {
+    body.u8(h.id);
+    switch (header_class(h.id)) {
+      case HeaderClass::text: {
+        const auto& s = std::get<std::string>(h.value);
+        body.u16(static_cast<std::uint16_t>(s.size() + 3));
+        body.str(s);
+        break;
+      }
+      case HeaderClass::bytes: {
+        const auto& b = std::get<Bytes>(h.value);
+        body.u16(static_cast<std::uint16_t>(b.size() + 3));
+        body.bytes(b);
+        break;
+      }
+      case HeaderClass::u32:
+        body.u32(std::get<std::uint32_t>(h.value));
+        break;
+    }
+  }
+  ByteWriter out;
+  out.u8(opcode);
+  out.u16(static_cast<std::uint16_t>(body.size() + 3));
+  out.bytes(body.data());
+  return out.take();
+}
+
+Result<Packet> decode(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  Packet p;
+  auto opcode = r.u8();
+  if (!opcode.ok()) return opcode.error();
+  p.opcode = opcode.value();
+  auto length = r.u16();
+  if (!length.ok()) return length.error();
+  if (length.value() != wire.size()) {
+    return make_error(Errc::protocol_error, "obex: length mismatch");
+  }
+  if (p.opcode == kOpConnect || (p.opcode == kRespSuccess && wire.size() >= 7)) {
+    // CONNECT and CONNECT-response carry version/flags/max-packet.
+    // For responses this is a heuristic; our sessions only use it for CONNECT.
+  }
+  if (p.opcode == kOpConnect) {
+    auto version = r.u8();
+    auto flags = r.u8();
+    auto mtu = r.u16();
+    if (!version.ok() || !flags.ok() || !mtu.ok()) {
+      return make_error(Errc::protocol_error, "obex: truncated CONNECT");
+    }
+    p.max_packet = mtu.value();
+  }
+  while (!r.at_end()) {
+    auto id = r.u8();
+    if (!id.ok()) return id.error();
+    Header h;
+    h.id = id.value();
+    switch (header_class(h.id)) {
+      case HeaderClass::text: {
+        auto len = r.u16();
+        if (!len.ok()) return len.error();
+        if (len.value() < 3) return make_error(Errc::protocol_error, "obex: bad header length");
+        auto text = r.str(len.value() - 3);
+        if (!text.ok()) return text.error();
+        h.value = std::move(text).take();
+        break;
+      }
+      case HeaderClass::bytes: {
+        auto len = r.u16();
+        if (!len.ok()) return len.error();
+        if (len.value() < 3) return make_error(Errc::protocol_error, "obex: bad header length");
+        auto data = r.bytes(len.value() - 3);
+        if (!data.ok()) return data.error();
+        h.value = std::move(data).take();
+        break;
+      }
+      case HeaderClass::u32: {
+        auto v = r.u32();
+        if (!v.ok()) return v.error();
+        h.value = v.value();
+        break;
+      }
+    }
+    p.headers.push_back(std::move(h));
+  }
+  return p;
+}
+
+Result<void> PacketAssembler::feed(std::span<const std::uint8_t> chunk,
+                                   std::vector<Packet>& out) {
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  while (buffer_.size() >= 3) {
+    std::uint16_t length = static_cast<std::uint16_t>((buffer_[1] << 8) | buffer_[2]);
+    if (length < 3) return make_error(Errc::protocol_error, "obex: bad packet length");
+    if (buffer_.size() < length) break;
+    auto packet = decode(std::span(buffer_).subspan(0, length));
+    if (!packet.ok()) return packet.error();
+    out.push_back(std::move(packet).take());
+    buffer_.erase(buffer_.begin(), buffer_.begin() + length);
+  }
+  return ok_result();
+}
+
+// --- Server ---------------------------------------------------------------------------
+
+void Server::attach(net::StreamPtr stream) {
+  auto assembler = std::make_shared<PacketAssembler>();
+  auto partial = std::make_shared<Object>();
+  net::Stream* raw = stream.get();
+  stream->on_data([this, assembler, partial, raw,
+                   keep = stream](std::span<const std::uint8_t> chunk) {
+    std::vector<Packet> packets;
+    if (auto r = assembler->feed(chunk, packets); !r.ok()) {
+      raw->close();
+      return;
+    }
+    for (const Packet& p : packets) handle(keep, p, partial);
+  });
+}
+
+void Server::handle(const net::StreamPtr& stream, const Packet& packet,
+                    const std::shared_ptr<Object>& partial) {
+  Packet resp;
+  switch (packet.opcode) {
+    case kOpConnect:
+      // (The real CONNECT response also carries version/flags/max-packet; our
+      // decoder keys those fields off the CONNECT opcode, so the emulation
+      // conveys capability via headers only.)
+      resp.opcode = kRespSuccess;
+      resp.headers.push_back(Header::u32(kHdrConnectionId, 1));
+      break;
+    case kOpDisconnect:
+      resp.opcode = kRespSuccess;
+      (void)stream->send(resp.encode());
+      stream->close();
+      return;
+    case kOpPut:
+    case kOpPutFinal: {
+      if (std::string name = packet.text(kHdrName); !name.empty()) partial->name = name;
+      if (std::string type = packet.text(kHdrType); !type.empty()) partial->type = type;
+      Bytes body = packet.body();
+      partial->data.insert(partial->data.end(), body.begin(), body.end());
+      if (packet.opcode == kOpPutFinal) {
+        if (on_put_) on_put_(*partial);
+        *partial = Object{};
+        resp.opcode = kRespSuccess;
+      } else {
+        resp.opcode = kRespContinue;
+      }
+      break;
+    }
+    case kOpGetFinal: {
+      if (partial->data.empty()) {
+        // First GET of the operation: look the object up.
+        if (!on_get_) {
+          resp.opcode = kRespNotFound;
+          break;
+        }
+        auto object = on_get_(packet.text(kHdrType), packet.text(kHdrName));
+        if (!object.ok()) {
+          resp.opcode = kRespNotFound;
+          break;
+        }
+        *partial = std::move(object).take();
+        partial->data.insert(partial->data.begin(), 0);  // sentinel: serving (popped below)
+      }
+      // Pop the sentinel, serve the next chunk.
+      Bytes& data = partial->data;
+      data.erase(data.begin());
+      std::size_t n = std::min(kChunk, data.size());
+      Bytes chunk(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(n));
+      data.erase(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(n));
+      if (data.empty()) {
+        resp.opcode = kRespSuccess;
+        resp.headers.push_back(Header::text(kHdrName, partial->name));
+        resp.headers.push_back(Header::bytes(kHdrEndOfBody, std::move(chunk)));
+        *partial = Object{};
+      } else {
+        resp.opcode = kRespContinue;
+        resp.headers.push_back(Header::bytes(kHdrBody, std::move(chunk)));
+        data.insert(data.begin(), 0);  // re-arm sentinel for the next GET
+      }
+      break;
+    }
+    default:
+      resp.opcode = kRespBadRequest;
+      break;
+  }
+  (void)stream->send(resp.encode());
+}
+
+// --- Client ----------------------------------------------------------------------------
+
+namespace {
+
+struct PutState {
+  Object object;
+  std::size_t offset = 0;
+  bool connected = false;
+  bool finished = false;
+  PacketAssembler assembler;
+  Client::DoneFn done;
+};
+
+struct GetState {
+  std::string type;
+  std::string name;
+  Object assembled;
+  bool connected = false;
+  bool finished = false;
+  PacketAssembler assembler;
+  Client::GetFn done;
+};
+
+Packet connect_packet() {
+  Packet p;
+  p.opcode = kOpConnect;
+  p.max_packet = kMaxPacket;
+  return p;
+}
+
+void send_next_put(const net::StreamPtr& stream, const std::shared_ptr<PutState>& st) {
+  Packet p;
+  std::size_t remaining = st->object.data.size() - st->offset;
+  std::size_t n = std::min(kChunk, remaining);
+  Bytes chunk(st->object.data.begin() + static_cast<std::ptrdiff_t>(st->offset),
+              st->object.data.begin() + static_cast<std::ptrdiff_t>(st->offset + n));
+  bool final = st->offset + n >= st->object.data.size();
+  if (st->offset == 0) {
+    p.headers.push_back(Header::text(kHdrName, st->object.name));
+    p.headers.push_back(Header::bytes(kHdrType, to_bytes(st->object.type)));
+    p.headers.push_back(
+        Header::u32(kHdrLength, static_cast<std::uint32_t>(st->object.data.size())));
+  }
+  p.opcode = final ? kOpPutFinal : kOpPut;
+  p.headers.push_back(Header::bytes(final ? kHdrEndOfBody : kHdrBody, std::move(chunk)));
+  st->offset += n;
+  (void)stream->send(p.encode());
+}
+
+}  // namespace
+
+void Client::put(net::StreamPtr stream, Object object, DoneFn done) {
+  auto st = std::make_shared<PutState>();
+  st->object = std::move(object);
+  st->done = std::move(done);
+  net::Stream* raw = stream.get();
+  stream->on_connected([raw]() { (void)raw->send(connect_packet().encode()); });
+  stream->on_data([st, raw, keep = stream](std::span<const std::uint8_t> chunk) {
+    if (st->finished) return;
+    std::vector<Packet> packets;
+    if (auto r = st->assembler.feed(chunk, packets); !r.ok()) {
+      st->finished = true;
+      st->done(r.error());
+      raw->close();
+      return;
+    }
+    for (const Packet& p : packets) {
+      if (!st->connected) {
+        if (p.opcode != kRespSuccess) {
+          st->finished = true;
+          st->done(make_error(Errc::refused, "obex: CONNECT refused"));
+          raw->close();
+          return;
+        }
+        st->connected = true;
+        send_next_put(keep, st);
+        continue;
+      }
+      if (p.opcode == kRespContinue) {
+        send_next_put(keep, st);
+        continue;
+      }
+      if (p.opcode == kRespSuccess) {
+        st->finished = true;
+        st->done(ok_result());
+        Packet disc;
+        disc.opcode = kOpDisconnect;
+        (void)raw->send(disc.encode());
+        raw->close();
+        return;
+      }
+      st->finished = true;
+      st->done(make_error(Errc::refused, "obex: PUT rejected"));
+      raw->close();
+      return;
+    }
+  });
+  stream->on_close([st]() {
+    if (st->finished) return;
+    st->finished = true;
+    st->done(make_error(Errc::disconnected, "obex: channel closed during PUT"));
+  });
+}
+
+void Client::get(net::StreamPtr stream, std::string type, std::string name, GetFn done) {
+  auto st = std::make_shared<GetState>();
+  st->type = std::move(type);
+  st->name = std::move(name);
+  st->done = std::move(done);
+  net::Stream* raw = stream.get();
+  stream->on_connected([raw]() { (void)raw->send(connect_packet().encode()); });
+
+  auto send_get = [st, raw]() {
+    Packet p;
+    p.opcode = kOpGetFinal;
+    p.headers.push_back(Header::bytes(kHdrType, to_bytes(st->type)));
+    if (!st->name.empty()) p.headers.push_back(Header::text(kHdrName, st->name));
+    (void)raw->send(p.encode());
+  };
+
+  stream->on_data([st, raw, send_get, keep = stream](std::span<const std::uint8_t> chunk) {
+    if (st->finished) return;
+    std::vector<Packet> packets;
+    if (auto r = st->assembler.feed(chunk, packets); !r.ok()) {
+      st->finished = true;
+      st->done(r.error());
+      raw->close();
+      return;
+    }
+    for (const Packet& p : packets) {
+      if (!st->connected) {
+        if (p.opcode != kRespSuccess) {
+          st->finished = true;
+          st->done(make_error(Errc::refused, "obex: CONNECT refused"));
+          raw->close();
+          return;
+        }
+        st->connected = true;
+        send_get();
+        continue;
+      }
+      if (p.opcode == kRespContinue) {
+        Bytes body = p.body();
+        st->assembled.data.insert(st->assembled.data.end(), body.begin(), body.end());
+        send_get();
+        continue;
+      }
+      if (p.opcode == kRespSuccess) {
+        Bytes body = p.body();
+        st->assembled.data.insert(st->assembled.data.end(), body.begin(), body.end());
+        if (std::string n = p.text(kHdrName); !n.empty()) st->assembled.name = n;
+        st->assembled.type = st->type;
+        st->finished = true;
+        st->done(std::move(st->assembled));
+        Packet disc;
+        disc.opcode = kOpDisconnect;
+        (void)raw->send(disc.encode());
+        raw->close();
+        return;
+      }
+      st->finished = true;
+      st->done(make_error(Errc::not_found, "obex: GET failed"));
+      raw->close();
+      return;
+    }
+  });
+  stream->on_close([st]() {
+    if (st->finished) return;
+    st->finished = true;
+    st->done(make_error(Errc::disconnected, "obex: channel closed during GET"));
+  });
+}
+
+}  // namespace umiddle::bt::obex

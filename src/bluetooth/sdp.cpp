@@ -1,0 +1,134 @@
+#include "bluetooth/sdp.hpp"
+
+#include "common/log.hpp"
+
+namespace umiddle::bt {
+namespace {
+
+constexpr std::uint8_t kPduError = 0x01;
+constexpr std::uint8_t kPduSearchRequest = 0x06;
+constexpr std::uint8_t kPduSearchResponse = 0x07;
+
+}  // namespace
+
+void SdpRecord::encode(ByteWriter& w) const {
+  w.u32(handle);
+  w.str16(service_uuid);
+  w.str16(name);
+  w.u16(psm);
+  w.str16(profile);
+}
+
+Result<SdpRecord> SdpRecord::decode(ByteReader& r) {
+  SdpRecord rec;
+  auto handle = r.u32();
+  if (!handle.ok()) return handle.error();
+  rec.handle = handle.value();
+  auto uuid = r.str16();
+  if (!uuid.ok()) return uuid.error();
+  rec.service_uuid = std::move(uuid).take();
+  auto name = r.str16();
+  if (!name.ok()) return name.error();
+  rec.name = std::move(name).take();
+  auto psm = r.u16();
+  if (!psm.ok()) return psm.error();
+  rec.psm = psm.value();
+  auto profile = r.str16();
+  if (!profile.ok()) return profile.error();
+  rec.profile = std::move(profile).take();
+  return rec;
+}
+
+Result<void> start_sdp_server(BtDevice& device, const std::vector<SdpRecord>* records) {
+  return device.listen_psm(kPsmSdp, [records](net::StreamPtr stream) {
+    auto buffer = std::make_shared<Bytes>();
+    net::Stream* raw = stream.get();
+    stream->on_data([records, raw, buffer, keep = stream](std::span<const std::uint8_t> chunk) {
+      buffer->insert(buffer->end(), chunk.begin(), chunk.end());
+      ByteReader r(*buffer);
+      auto pdu = r.u8();
+      auto tx = r.u16();
+      if (!pdu.ok() || !tx.ok()) return;  // wait for more bytes
+      ByteWriter resp;
+      if (pdu.value() != kPduSearchRequest) {
+        resp.u8(kPduError);
+        resp.u16(tx.value());
+        resp.u16(0x0003);  // invalid request syntax
+        (void)raw->send(resp.take());
+        raw->close();
+        return;
+      }
+      auto uuid = r.str16();
+      if (!uuid.ok()) return;  // partial; wait
+      std::vector<const SdpRecord*> matched;
+      for (const SdpRecord& rec : *records) {
+        if (uuid.value() == "*" || rec.service_uuid == uuid.value()) matched.push_back(&rec);
+      }
+      resp.u8(kPduSearchResponse);
+      resp.u16(tx.value());
+      resp.u16(static_cast<std::uint16_t>(matched.size()));
+      for (const SdpRecord* rec : matched) rec->encode(resp);
+      (void)raw->send(resp.take());
+      raw->close();
+    });
+  });
+}
+
+void sdp_query(BluetoothMedium& medium, const std::string& from_host, BtAddress device,
+               const std::string& uuid, SdpQueryFn done) {
+  auto stream = medium.l2cap_connect(from_host, device, kPsmSdp);
+  if (!stream.ok()) {
+    done(stream.error());
+    return;
+  }
+  net::StreamPtr s = stream.value();
+  static std::uint16_t next_tx = 1;
+  std::uint16_t tx = next_tx++;
+  ByteWriter req;
+  req.u8(kPduSearchRequest);
+  req.u16(tx);
+  req.str16(uuid);
+  s->on_connected([s, wire = req.take()]() { (void)s->send(wire); });
+
+  auto buffer = std::make_shared<Bytes>();
+  auto finished = std::make_shared<bool>(false);
+  auto done_ptr = std::make_shared<SdpQueryFn>(std::move(done));
+  s->on_data([buffer, finished, done_ptr, tx, s](std::span<const std::uint8_t> chunk) {
+    if (*finished) return;
+    buffer->insert(buffer->end(), chunk.begin(), chunk.end());
+    ByteReader r(*buffer);
+    auto pdu = r.u8();
+    auto got_tx = r.u16();
+    if (!pdu.ok() || !got_tx.ok()) return;
+    if (pdu.value() == kPduError) {
+      *finished = true;
+      (*done_ptr)(make_error(Errc::protocol_error, "sdp error response"));
+      s->close();
+      return;
+    }
+    if (pdu.value() != kPduSearchResponse || got_tx.value() != tx) {
+      *finished = true;
+      (*done_ptr)(make_error(Errc::protocol_error, "sdp unexpected response"));
+      s->close();
+      return;
+    }
+    auto count = r.u16();
+    if (!count.ok()) return;
+    std::vector<SdpRecord> records;
+    for (std::uint16_t i = 0; i < count.value(); ++i) {
+      auto rec = SdpRecord::decode(r);
+      if (!rec.ok()) return;  // partial frame; wait for the rest
+      records.push_back(std::move(rec).take());
+    }
+    *finished = true;
+    (*done_ptr)(std::move(records));
+    s->close();
+  });
+  s->on_close([finished, done_ptr]() {
+    if (*finished) return;
+    *finished = true;
+    (*done_ptr)(make_error(Errc::disconnected, "sdp: channel closed early"));
+  });
+}
+
+}  // namespace umiddle::bt

@@ -1,0 +1,41 @@
+// SDP — Bluetooth Service Discovery Protocol (paper §2.1: "Bluetooth uses
+// Service Discovery Protocol (SDP)").
+//
+// Binary PDUs over an L2CAP channel on PSM 0x0001:
+//   ServiceSearchAttributeRequest (0x06): tx-id u16, uuid str16 ("*" = all)
+//   ServiceSearchAttributeResponse (0x07): tx-id u16, count u16, records
+//   ErrorResponse (0x01): tx-id u16, error code u16
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bluetooth/medium.hpp"
+#include "common/bytes.hpp"
+
+namespace umiddle::bt {
+
+/// One service record: what a device offers and on which PSM.
+struct SdpRecord {
+  std::uint32_t handle = 0;
+  std::string service_uuid;  ///< e.g. "0x111B" (Imaging Responder)
+  std::string name;          ///< e.g. "BIP Imaging"
+  std::uint16_t psm = 0;     ///< L2CAP PSM of the service
+  std::string profile;       ///< e.g. "BIP", "HID"
+
+  void encode(ByteWriter& w) const;
+  static Result<SdpRecord> decode(ByteReader& r);
+};
+
+/// Attach an SDP responder for `records` to a device (PSM 0x0001).
+/// The records vector must outlive the registration (owned by the device).
+Result<void> start_sdp_server(BtDevice& device, const std::vector<SdpRecord>* records);
+
+/// Query a remote device's records matching `uuid` ("*" for all).
+/// Charges the SDP round trip over the radio.
+using SdpQueryFn = std::function<void(Result<std::vector<SdpRecord>>)>;
+void sdp_query(BluetoothMedium& medium, const std::string& from_host, BtAddress device,
+               const std::string& uuid, SdpQueryFn done);
+
+}  // namespace umiddle::bt

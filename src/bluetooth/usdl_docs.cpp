@@ -1,0 +1,72 @@
+// Built-in USDL documents for the emulated Bluetooth devices.
+//
+// §3.4: "any Bluetooth BIP device defines image transmission capability, but
+// its role (such as camera or printer) can be determined at runtime" — the
+// camera and printer below share the BIP machinery but differ in the role the
+// USDL document assigns (push-source vs put-sink).
+#include "bluetooth/mapper.hpp"
+
+namespace umiddle::bt {
+namespace {
+
+constexpr const char* kCameraUsdl = R"USDL(
+<usdl version="1">
+  <service platform="bluetooth" match="0x111B" name="BIP Digital Camera">
+    <shape>
+      <digital-port name="capture" direction="input" mime="application/x-capture-request"
+                    description="pull the current image from the camera"/>
+      <digital-port name="image-out" direction="output" mime="image/jpeg"/>
+    </shape>
+    <bindings>
+      <binding port="capture" kind="obex-get" emit="image-out">
+        <native type="x-bt/img-img"/>
+      </binding>
+      <binding port="image-out" kind="obex-push-sink">
+        <native type="x-bt/img-img" register="x-bt/register-push"/>
+      </binding>
+    </bindings>
+  </service>
+</usdl>)USDL";
+
+constexpr const char* kPrinterUsdl = R"USDL(
+<usdl version="1">
+  <service platform="bluetooth" match="0x1118" name="BIP Printer">
+    <shape>
+      <digital-port name="image-in" direction="input" mime="image/*"
+                    description="print an image"/>
+      <physical-port name="paper" direction="output" tag="visible/paper"/>
+    </shape>
+    <bindings>
+      <binding port="image-in" kind="obex-put">
+        <native type="x-bt/img-img"/>
+      </binding>
+    </bindings>
+  </service>
+</usdl>)USDL";
+
+constexpr const char* kMouseUsdl = R"USDL(
+<usdl version="1">
+  <service platform="bluetooth" match="0x1124" name="HIDP Mouse">
+    <shape>
+      <digital-port name="pointer-out" direction="output" mime="application/vml+xml"
+                    description="mouse events as VML documents"/>
+      <physical-port name="motion" direction="input" tag="tangible/motion"/>
+    </shape>
+    <bindings>
+      <binding port="pointer-out" kind="hid-events">
+        <native channel="interrupt"/>
+      </binding>
+    </bindings>
+  </service>
+</usdl>)USDL";
+
+}  // namespace
+
+void register_bt_usdl(core::UsdlLibrary& library) {
+  for (const char* doc : {kCameraUsdl, kPrinterUsdl, kMouseUsdl}) {
+    auto r = library.add_text(doc);
+    if (!r.ok()) std::abort();  // built-in documents must parse
+  }
+}
+
+}  // namespace umiddle::bt

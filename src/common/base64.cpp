@@ -1,0 +1,87 @@
+#include "common/base64.hpp"
+
+#include <array>
+
+namespace umiddle::base64 {
+namespace {
+
+constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> build_reverse() {
+  std::array<std::int8_t, 256> table{};
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  return table;
+}
+
+const std::array<std::int8_t, 256>& reverse_table() {
+  static const auto table = build_reverse();
+  return table;
+}
+
+}  // namespace
+
+std::string encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8) | data[i + 2];
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+    i += 3;
+  }
+  std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out += "==";
+  } else if (rem == 2) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<Bytes> decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    return make_error(Errc::parse_error, "base64 length not a multiple of 4");
+  }
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  const auto& rev = reverse_table();
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (int j = 0; j < 4; ++j) {
+      char c = text[i + static_cast<std::size_t>(j)];
+      if (c == '=') {
+        // Padding is only legal in the last group, positions 3 or 2+3.
+        if (i + 4 != text.size() || j < 2) {
+          return make_error(Errc::parse_error, "base64 misplaced padding");
+        }
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) return make_error(Errc::parse_error, "base64 data after padding");
+      std::int8_t d = rev[static_cast<unsigned char>(c)];
+      if (d < 0) return make_error(Errc::parse_error, "base64 invalid character");
+      v = (v << 6) | static_cast<std::uint32_t>(d);
+    }
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>(v >> 8));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(v));
+  }
+  return out;
+}
+
+}  // namespace umiddle::base64

@@ -1,0 +1,15 @@
+// Base64 (RFC 4648) — used to carry binary payloads inside XML documents
+// (SOAP arguments, directory advertisements of binary metadata).
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace umiddle::base64 {
+
+std::string encode(std::span<const std::uint8_t> data);
+Result<Bytes> decode(std::string_view text);
+
+}  // namespace umiddle::base64

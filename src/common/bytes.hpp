@@ -1,0 +1,68 @@
+// Binary codec support for the wire protocols (OBEX, SDP, HIDP, RMI, UMTP, MB).
+// Big-endian on the wire, matching the Bluetooth and Java conventions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace umiddle {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only big-endian encoder.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(std::span<const std::uint8_t> data);
+  void str(std::string_view s);  ///< raw bytes, no length prefix
+  /// u16 length prefix followed by the string bytes.
+  void str16(std::string_view s);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked big-endian decoder over a borrowed buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<Bytes> bytes(std::size_t n);
+  Result<std::string> str(std::size_t n);
+  /// u16 length prefix followed by that many string bytes.
+  Result<std::string> str16();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return remaining() == 0; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  Result<void> need(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+Bytes to_bytes(std::string_view s);
+std::string to_string(std::span<const std::uint8_t> data);
+
+/// Hex dump (debugging aid), e.g. "de ad be ef".
+std::string hex(std::span<const std::uint8_t> data);
+
+}  // namespace umiddle

@@ -1,0 +1,50 @@
+#include "common/log.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace umiddle::log {
+namespace {
+
+struct State {
+  std::mutex mu;
+  Sink sink;
+  Level level = Level::off;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+void set_sink(Sink sink) {
+  std::lock_guard lock(state().mu);
+  state().sink = std::move(sink);
+}
+
+void set_level(Level level) {
+  std::lock_guard lock(state().mu);
+  state().level = level;
+}
+
+Level level() {
+  std::lock_guard lock(state().mu);
+  return state().level;
+}
+
+void write(Level level, std::string_view component, std::string_view message) {
+  std::lock_guard lock(state().mu);
+  if (level < state().level || !state().sink) return;
+  state().sink(level, component, message);
+}
+
+void enable_stderr(Level level) {
+  set_level(level);
+  set_sink([](Level l, std::string_view component, std::string_view message) {
+    std::cerr << to_string(l) << " [" << component << "] " << message << "\n";
+  });
+}
+
+}  // namespace umiddle::log

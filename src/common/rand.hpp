@@ -1,0 +1,48 @@
+// Deterministic PRNG (splitmix64) used by simulators and property tests.
+// Never seeded from wall-clock time: reproducibility is part of the contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace umiddle {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool chance(double p) { return unit() < p; }
+
+  /// Random lowercase identifier of the given length.
+  std::string ident(std::size_t len) {
+    std::string s;
+    s.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + below(26)));
+    }
+    return s;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace umiddle

@@ -1,0 +1,121 @@
+// Result<T>: lightweight expected-style error handling used across uMiddle.
+//
+// The library never throws across module boundaries; fallible operations return
+// Result<T>. Programming errors (violated preconditions) use assertions.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace umiddle {
+
+/// Error categories surfaced by uMiddle and its substrates.
+enum class Errc {
+  invalid_argument,
+  parse_error,
+  not_found,
+  already_exists,
+  unsupported,
+  timeout,
+  disconnected,
+  refused,
+  buffer_overflow,
+  protocol_error,
+  io_error,
+  incompatible,
+  internal,
+};
+
+/// Human-readable name of an error category.
+constexpr const char* to_string(Errc c) {
+  switch (c) {
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::parse_error: return "parse_error";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::unsupported: return "unsupported";
+    case Errc::timeout: return "timeout";
+    case Errc::disconnected: return "disconnected";
+    case Errc::refused: return "refused";
+    case Errc::buffer_overflow: return "buffer_overflow";
+    case Errc::protocol_error: return "protocol_error";
+    case Errc::io_error: return "io_error";
+    case Errc::incompatible: return "incompatible";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+/// An error value: category plus a context message.
+struct Error {
+  Errc code = Errc::internal;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(umiddle::to_string(code)) + ": " + message;
+  }
+};
+
+inline Error make_error(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+/// Result<T> holds either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+  /// Value or a fallback when this holds an error.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(data_) : std::move(fallback); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void>: success or an Error.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Result<void> ok_result() { return Result<void>{}; }
+
+}  // namespace umiddle

@@ -1,0 +1,224 @@
+#include "core/directory.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "core/runtime.hpp"
+#include "xml/parser.hpp"
+
+namespace umiddle::core {
+
+Directory::Directory(Runtime& runtime) : runtime_(runtime) {}
+
+// Note: alive_ guards the refresh timer; the Runtime owns and outlives the
+// Directory, but scheduled ticks can outlive stop()/destruction in tests.
+
+xml::Element Directory::envelope(const char* type) const {
+  xml::Element el("umiddle-adv");
+  el.set_attr("type", type);
+  el.set_attr("node", runtime_.node().to_string());
+  el.set_attr("host", runtime_.host());
+  el.set_attr("umtp-port", std::to_string(runtime_.config().umtp_port));
+  return el;
+}
+
+void Directory::multicast(const xml::Element& advert) {
+  net::Endpoint from{runtime_.host(), runtime_.config().directory_port};
+  auto r = runtime_.network().udp_multicast(from, runtime_.config().group,
+                                            runtime_.config().directory_port,
+                                            to_bytes(advert.to_string()));
+  if (!r.ok()) {
+    log::Entry(log::Level::warn, "directory") << "multicast failed: " << r.error().to_string();
+  }
+}
+
+Result<void> Directory::start() {
+  if (started_) return ok_result();
+  net::Endpoint local{runtime_.host(), runtime_.config().directory_port};
+  auto bind = runtime_.network().udp_bind(
+      local, [this](const net::Endpoint& from, const Bytes& payload) {
+        handle_datagram(from, payload);
+      });
+  if (!bind.ok()) return bind;
+  if (auto join = runtime_.network().join_group(runtime_.host(), runtime_.config().group);
+      !join.ok()) {
+    runtime_.network().udp_close(local);
+    return join;
+  }
+  started_ = true;
+  nodes_[runtime_.node()] =
+      NodeInfo{runtime_.node(), runtime_.host(), runtime_.config().umtp_port};
+  // Tell peers about anything mapped before start, and ask them to re-announce.
+  announce_all_local();
+  multicast(envelope("probe"));
+  // Soft-state maintenance: periodic re-announcement + expiry of stale
+  // remote entries (a crashed node never sends bye).
+  runtime_.scheduler().schedule_after(max_age_ / 3, [this, alive = alive_]() {
+    if (*alive) refresh_tick();
+  });
+  return ok_result();
+}
+
+void Directory::refresh_tick() {
+  if (!started_) return;
+  announce_all_local();
+  sim::TimePoint now = runtime_.scheduler().now();
+  std::vector<TranslatorProfile> expired;
+  for (const auto& [id, seen] : last_seen_) {
+    if (now - seen > max_age_) {
+      auto it = profiles_.find(id);
+      if (it != profiles_.end()) expired.push_back(it->second);
+    }
+  }
+  for (const TranslatorProfile& profile : expired) {
+    profiles_.erase(profile.id);
+    last_seen_.erase(profile.id);
+    log::Entry(log::Level::info, "directory")
+        << "expired stale translator " << profile.name << " (node "
+        << profile.node.to_string() << " silent)";
+    notify_unmapped(profile);
+  }
+  runtime_.scheduler().schedule_after(max_age_ / 3, [this, alive = alive_]() {
+    if (*alive) refresh_tick();
+  });
+}
+
+void Directory::stop() {
+  if (!started_) return;
+  for (const auto& [id, profile] : profiles_) {
+    if (profile.node != runtime_.node()) continue;
+    xml::Element bye = envelope("bye");
+    bye.set_attr("translator-id", id.to_string());
+    multicast(bye);
+  }
+  runtime_.network().leave_group(runtime_.host(), runtime_.config().group);
+  runtime_.network().udp_close({runtime_.host(), runtime_.config().directory_port});
+  started_ = false;
+  // Disarm the refresh timer; a later start() re-arms with a fresh guard.
+  *alive_ = false;
+  alive_ = std::make_shared<bool>(true);
+}
+
+std::vector<TranslatorProfile> Directory::lookup(const Query& query) const {
+  std::vector<TranslatorProfile> out;
+  for (const auto& [id, profile] : profiles_) {
+    if (matches(query, profile)) out.push_back(profile);
+  }
+  return out;
+}
+
+void Directory::add_directory_listener(DirectoryListener* listener) {
+  listeners_.push_back(listener);
+}
+
+void Directory::remove_directory_listener(DirectoryListener* listener) {
+  std::erase(listeners_, listener);
+}
+
+const TranslatorProfile* Directory::profile(TranslatorId id) const {
+  auto it = profiles_.find(id);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+const NodeInfo* Directory::node_info(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+void Directory::publish_local(const TranslatorProfile& profile) {
+  profiles_[profile.id] = profile;
+  notify_mapped(profile);
+  if (started_) send_announce(profile);
+}
+
+void Directory::withdraw_local(TranslatorId id) {
+  auto it = profiles_.find(id);
+  if (it == profiles_.end()) return;
+  TranslatorProfile profile = it->second;
+  profiles_.erase(it);
+  notify_unmapped(profile);
+  if (started_) {
+    xml::Element bye = envelope("bye");
+    bye.set_attr("translator-id", id.to_string());
+    multicast(bye);
+  }
+}
+
+void Directory::send_announce(const TranslatorProfile& profile) {
+  xml::Element adv = envelope("announce");
+  adv.add_child(profile.to_xml());
+  multicast(adv);
+}
+
+void Directory::announce_all_local() {
+  for (const auto& [id, profile] : profiles_) {
+    if (profile.node == runtime_.node()) send_announce(profile);
+  }
+}
+
+void Directory::notify_mapped(const TranslatorProfile& profile) {
+  // Copy: listeners may add/remove listeners while being notified.
+  auto listeners = listeners_;
+  for (DirectoryListener* l : listeners) l->on_mapped(profile);
+}
+
+void Directory::notify_unmapped(const TranslatorProfile& profile) {
+  auto listeners = listeners_;
+  for (DirectoryListener* l : listeners) l->on_unmapped(profile);
+}
+
+void Directory::handle_datagram(const net::Endpoint& from, const Bytes& payload) {
+  auto doc = xml::parse(umiddle::to_string(payload));
+  if (!doc.ok() || doc.value().name() != "umiddle-adv") {
+    log::Entry(log::Level::warn, "directory") << "ignoring malformed advert from "
+                                              << from.to_string();
+    return;
+  }
+  const xml::Element& adv = doc.value();
+  std::uint64_t node_raw = 0;
+  if (!strings::parse_u64(adv.attr("node"), node_raw) || node_raw == 0) return;
+  NodeId sender(node_raw);
+  if (sender == runtime_.node()) return;  // multicast loopback of our own advert
+
+  // Learn/refresh the sender's transport endpoint.
+  std::uint64_t umtp_port = 0;
+  strings::parse_u64(adv.attr("umtp-port"), umtp_port);
+  if (umtp_port != 0 && !adv.attr("host").empty()) {
+    nodes_[sender] = NodeInfo{sender, std::string(adv.attr("host")),
+                              static_cast<std::uint16_t>(umtp_port)};
+  }
+
+  std::string_view type = adv.attr("type");
+  if (type == "announce") {
+    const xml::Element* tr = adv.child("translator");
+    if (tr == nullptr) return;
+    auto profile = TranslatorProfile::from_xml(*tr);
+    if (!profile.ok()) {
+      log::Entry(log::Level::warn, "directory")
+          << "bad announce: " << profile.error().to_string();
+      return;
+    }
+    bool fresh = profiles_.count(profile.value().id) == 0;
+    profiles_[profile.value().id] = profile.value();
+    last_seen_[profile.value().id] = runtime_.scheduler().now();
+    if (fresh) notify_mapped(profile.value());
+  } else if (type == "bye") {
+    std::uint64_t id_raw = 0;
+    if (!strings::parse_u64(adv.attr("translator-id"), id_raw)) return;
+    auto it = profiles_.find(TranslatorId(id_raw));
+    if (it == profiles_.end()) return;
+    TranslatorProfile profile = it->second;
+    profiles_.erase(it);
+    last_seen_.erase(profile.id);
+    notify_unmapped(profile);
+  } else if (type == "probe") {
+    // Re-announce after a deterministic per-node jitter so simultaneous
+    // responders do not collide on the shared medium.
+    sim::Duration jitter =
+        sim::milliseconds(5 + static_cast<std::int64_t>(runtime_.node().value() % 8) * 12);
+    runtime_.scheduler().schedule_after(jitter, [this]() {
+      if (started_) announce_all_local();
+    });
+  }
+}
+
+}  // namespace umiddle::core

@@ -1,0 +1,119 @@
+// The uMiddle directory module (paper §3.2, Fig. 6).
+//
+// Handles the exchange of device advertisements among runtime hosts: a
+// discovery mechanism for translators that is independent of the native
+// discovery protocols the mappers speak. Each runtime multicasts
+//
+//   announce — a translator was mapped here (carries the full profile and this
+//              node's UMTP endpoint, so peers learn how to reach it),
+//   bye      — a translator was unmapped,
+//   probe    — sent at startup; peers respond by re-announcing their local
+//              translators after a per-node jitter delay.
+//
+// The public API is the paper's Figure 6:
+//   lookup(Query)                  — profiles of translators matching the query
+//   add_directory_listener(...)    — notification when a native device is
+//                                    mapped to (or unmapped from) uMiddle
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "netsim/network.hpp"
+
+namespace umiddle::core {
+
+class Runtime;
+
+/// Receives directory change notifications (paper Fig. 6 (2)).
+class DirectoryListener {
+ public:
+  virtual ~DirectoryListener() = default;
+  virtual void on_mapped(const TranslatorProfile& profile) = 0;
+  virtual void on_unmapped(const TranslatorProfile& profile) = 0;
+};
+
+/// Adapts two callables to DirectoryListener.
+class LambdaListener final : public DirectoryListener {
+ public:
+  using Fn = std::function<void(const TranslatorProfile&)>;
+  LambdaListener(Fn mapped, Fn unmapped)
+      : mapped_(std::move(mapped)), unmapped_(std::move(unmapped)) {}
+  void on_mapped(const TranslatorProfile& p) override {
+    if (mapped_) mapped_(p);
+  }
+  void on_unmapped(const TranslatorProfile& p) override {
+    if (unmapped_) unmapped_(p);
+  }
+
+ private:
+  Fn mapped_, unmapped_;
+};
+
+/// How to reach a peer runtime's transport module.
+struct NodeInfo {
+  NodeId id;
+  std::string host;
+  std::uint16_t umtp_port = 0;
+};
+
+class Directory {
+ public:
+  explicit Directory(Runtime& runtime);
+
+  /// Join the multicast group, bind the advertisement socket, send a probe,
+  /// and begin periodic re-announcement (soft state: peers expire entries
+  /// whose advertisements stop arriving, like SSDP's CACHE-CONTROL max-age).
+  Result<void> start();
+  /// Send bye for all local translators and leave the group.
+  void stop();
+
+  /// Lifetime granted to remote entries per advertisement. Local translators
+  /// are re-announced every max_age/3; remote entries not refreshed within
+  /// max_age are expired (covers crashed nodes that never said bye).
+  sim::Duration max_age() const { return max_age_; }
+  void set_max_age(sim::Duration age) { max_age_ = age; }
+
+  // --- paper Fig. 6 API -------------------------------------------------------
+  /// Profiles of all known translators (local and remote) matching the query.
+  std::vector<TranslatorProfile> lookup(const Query& query) const;
+  /// Register for map/unmap notifications. The listener must outlive the
+  /// directory or be removed first.
+  void add_directory_listener(DirectoryListener* listener);
+  void remove_directory_listener(DirectoryListener* listener);
+
+  /// Profile by id (local or remote), nullptr if unknown.
+  const TranslatorProfile* profile(TranslatorId id) const;
+  /// Transport endpoint of the node hosting a translator, if known.
+  const NodeInfo* node_info(NodeId id) const;
+  std::size_t known_translators() const { return profiles_.size(); }
+
+  // --- called by the runtime ----------------------------------------------------
+  void publish_local(const TranslatorProfile& profile);
+  void withdraw_local(TranslatorId id);
+
+ private:
+  void handle_datagram(const net::Endpoint& from, const Bytes& payload);
+  void send_announce(const TranslatorProfile& profile);
+  void announce_all_local();
+  void refresh_tick();
+  void notify_mapped(const TranslatorProfile& profile);
+  void notify_unmapped(const TranslatorProfile& profile);
+  xml::Element envelope(const char* type) const;
+  void multicast(const xml::Element& advert);
+
+  Runtime& runtime_;
+  bool started_ = false;
+  sim::Duration max_age_ = sim::seconds(30);
+  std::map<TranslatorId, TranslatorProfile> profiles_;
+  /// Last refresh time per *remote* translator (locals never expire).
+  std::map<TranslatorId, sim::TimePoint> last_seen_;
+  std::map<NodeId, NodeInfo> nodes_;
+  std::vector<DirectoryListener*> listeners_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace umiddle::core

@@ -1,0 +1,34 @@
+// Mapper: the service-level + transport-level bridge for one platform (§3.2).
+//
+// A mapper discovers native devices with the platform's own discovery protocol
+// (SSDP, Bluetooth inquiry + SDP, registry polling, ...), then imports each into
+// the intermediary semantic space by instantiating a translator — typically the
+// platform's generic translator parameterized by a USDL document. It also hosts
+// the base-protocol support (SOAP/HTTP client, OBEX stack, ...) its translators
+// call into.
+#pragma once
+
+#include <string>
+
+namespace umiddle::core {
+
+class Runtime;
+
+class Mapper {
+ public:
+  explicit Mapper(std::string platform) : platform_(std::move(platform)) {}
+  virtual ~Mapper() = default;
+  Mapper(const Mapper&) = delete;
+  Mapper& operator=(const Mapper&) = delete;
+
+  const std::string& platform() const { return platform_; }
+
+  /// Begin discovery; called once the runtime is started.
+  virtual void start(Runtime& runtime) = 0;
+  virtual void stop() {}
+
+ private:
+  std::string platform_;
+};
+
+}  // namespace umiddle::core

@@ -1,0 +1,27 @@
+// The unit of communication in the intermediary semantic space: a typed payload.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/mime.hpp"
+
+namespace umiddle::core {
+
+/// A message flowing through digital ports. Payload is opaque bytes interpreted
+/// according to `type`; `meta` carries small out-of-band annotations (file name,
+/// geographic origin, ...).
+struct Message {
+  MimeType type;
+  Bytes payload;
+  std::map<std::string, std::string> meta;
+
+  static Message text(MimeType type, std::string_view body) {
+    return Message{std::move(type), to_bytes(body), {}};
+  }
+
+  std::string body_text() const { return umiddle::to_string(payload); }
+};
+
+}  // namespace umiddle::core

@@ -1,0 +1,27 @@
+#include "core/native_device.hpp"
+
+namespace umiddle::core {
+
+Shape make_sink_shape(std::string port, MimeType type) {
+  Shape shape;
+  PortSpec spec;
+  spec.name = std::move(port);
+  spec.kind = PortKind::digital;
+  spec.direction = Direction::input;
+  spec.type = std::move(type);
+  (void)shape.add(std::move(spec));
+  return shape;
+}
+
+Shape make_source_shape(std::string port, MimeType type) {
+  Shape shape;
+  PortSpec spec;
+  spec.name = std::move(port);
+  spec.kind = PortKind::digital;
+  spec.direction = Direction::output;
+  spec.type = std::move(type);
+  (void)shape.add(std::move(spec));
+  return shape;
+}
+
+}  // namespace umiddle::core

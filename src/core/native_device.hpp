@@ -1,0 +1,70 @@
+// Native uMiddle devices: services built directly against uMiddle as their
+// native middleware platform (paper §4.1 — eighteen of the twenty-two devices
+// in the Pads screenshot are of this kind). They are ordinary translators whose
+// "native device" is the application code itself, so emit() is public.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "core/translator.hpp"
+
+namespace umiddle::core {
+
+/// A translator driven by callbacks — the quickest way to put an application
+/// endpoint into the intermediary semantic space.
+class LambdaDevice : public Translator {
+ public:
+  using DeliverFn = std::function<Result<void>(const std::string& port, const Message& msg)>;
+
+  LambdaDevice(std::string name, Shape shape, DeliverFn on_deliver = {})
+      : Translator(std::move(name), "umiddle", "umiddle:native", std::move(shape)),
+        on_deliver_(std::move(on_deliver)) {}
+
+  Result<void> deliver(const std::string& port, const Message& msg) override {
+    if (!on_deliver_) return ok_result();
+    return on_deliver_(port, msg);
+  }
+
+  /// Applications push messages out of the device's output ports directly.
+  using Translator::emit;
+
+ private:
+  DeliverFn on_deliver_;
+};
+
+/// A sink device that records every delivered message (tests, examples, and the
+/// Pads GUI's inspection view use this).
+class CollectorDevice : public Translator {
+ public:
+  struct Received {
+    std::string port;
+    Message msg;
+  };
+
+  CollectorDevice(std::string name, Shape shape)
+      : Translator(std::move(name), "umiddle", "umiddle:collector", std::move(shape)) {}
+
+  Result<void> deliver(const std::string& port, const Message& msg) override {
+    received_.push_back(Received{port, msg});
+    if (on_receive_) on_receive_(received_.back());
+    return ok_result();
+  }
+
+  void set_on_receive(std::function<void(const Received&)> fn) { on_receive_ = std::move(fn); }
+  const std::deque<Received>& received() const { return received_; }
+  std::size_t count() const { return received_.size(); }
+  void clear() { received_.clear(); }
+
+  using Translator::emit;
+
+ private:
+  std::deque<Received> received_;
+  std::function<void(const Received&)> on_receive_;
+};
+
+/// Shape helpers for the common one-in / one-out native devices.
+Shape make_sink_shape(std::string port, MimeType type);
+Shape make_source_shape(std::string port, MimeType type);
+
+}  // namespace umiddle::core

@@ -1,0 +1,42 @@
+#include "core/qos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace umiddle::core {
+
+void TokenBucket::refill(sim::TimePoint now) {
+  if (now <= last_) return;
+  double elapsed = sim::to_seconds(now - last_);
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  last_ = now;
+}
+
+bool TokenBucket::try_consume(std::size_t bytes, sim::TimePoint now) {
+  refill(now);
+  double need = static_cast<double>(bytes);
+  // Allow single messages larger than the burst to pass once the bucket is
+  // full (otherwise they would starve forever); they drive tokens negative,
+  // which delays subsequent messages — standard bucket-debt behaviour.
+  if (tokens_ >= need || (need > burst_ && tokens_ >= burst_)) {
+    tokens_ -= need;
+    return true;
+  }
+  return false;
+}
+
+sim::Duration TokenBucket::delay_for(std::size_t bytes, sim::TimePoint now) {
+  refill(now);
+  double need = std::min(static_cast<double>(bytes), burst_);
+  if (tokens_ >= need) return sim::Duration(0);
+  double missing = need - tokens_;
+  double secs = missing / rate_;
+  return sim::Duration(static_cast<std::int64_t>(std::ceil(secs * 1e9)));
+}
+
+double TokenBucket::tokens(sim::TimePoint now) {
+  refill(now);
+  return tokens_;
+}
+
+}  // namespace umiddle::core

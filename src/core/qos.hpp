@@ -1,0 +1,57 @@
+// QoS control for message paths.
+//
+// The paper identifies the missing piece of its transport-level bridge (§5.3,
+// §7): when a fast platform feeds a slow one, "the data sent from other services
+// \[accumulates\] in the uMiddle's translation buffer. Therefore, the universal
+// interoperability layer should provide some QoS control mechanism." This module
+// implements that future work: a token-bucket rate shaper plus a bounded
+// translation buffer per path, with accounting that the QoS ablation bench uses
+// to reproduce the accumulation effect.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/scheduler.hpp"
+
+namespace umiddle::core {
+
+/// Per-path policy. Default-constructed policy = no shaping, unbounded buffer
+/// (the behaviour of the paper's base system).
+struct QosPolicy {
+  /// Sustained rate cap; unset = unlimited.
+  std::optional<double> rate_bytes_per_sec;
+  /// Bucket depth: how much burst may pass at line rate.
+  std::size_t burst_bytes = 16 * 1024;
+  /// Translation-buffer bound; 0 = unbounded.
+  std::size_t max_buffered_bytes = 0;
+
+  bool shaped() const { return rate_bytes_per_sec.has_value(); }
+  bool bounded() const { return max_buffered_bytes != 0; }
+};
+
+/// Token bucket over virtual time.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_bytes_per_sec, std::size_t burst_bytes)
+      : rate_(rate_bytes_per_sec), burst_(static_cast<double>(burst_bytes)),
+        tokens_(static_cast<double>(burst_bytes)) {}
+
+  /// Try to spend `bytes` at time `now`; returns true on success.
+  bool try_consume(std::size_t bytes, sim::TimePoint now);
+
+  /// Time until `bytes` would be affordable (zero if affordable now).
+  sim::Duration delay_for(std::size_t bytes, sim::TimePoint now);
+
+  double tokens(sim::TimePoint now);
+
+ private:
+  void refill(sim::TimePoint now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  sim::TimePoint last_{0};
+};
+
+}  // namespace umiddle::core

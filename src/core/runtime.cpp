@@ -1,0 +1,123 @@
+#include "core/runtime.hpp"
+
+#include <atomic>
+
+#include "common/log.hpp"
+
+namespace umiddle::core {
+namespace {
+
+std::uint64_t next_node_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+}  // namespace
+
+Runtime::Runtime(sim::Scheduler& sched, net::Network& net, std::string host,
+                 RuntimeConfig config)
+    : sched_(sched), net_(net), host_(std::move(host)), config_(std::move(config)),
+      node_(config_.node_id != 0 ? NodeId(config_.node_id) : NodeId(next_node_id())) {
+  directory_ = std::make_unique<Directory>(*this);
+  transport_ = std::make_unique<Transport>(*this);
+  directory_->add_directory_listener(transport_.get());
+}
+
+Runtime::~Runtime() { stop(); }
+
+Result<void> Runtime::start() {
+  if (started_) return ok_result();
+  if (!net_.host_exists(host_)) {
+    return make_error(Errc::not_found, "network host does not exist: " + host_);
+  }
+  if (auto r = transport_->start(); !r.ok()) return r;
+  if (auto r = directory_->start(); !r.ok()) {
+    transport_->stop();
+    return r;
+  }
+  started_ = true;
+  for (auto& mapper : mappers_) mapper->start(*this);
+  log::Entry(log::Level::info, "runtime")
+      << "node " << node_.to_string() << " started on " << host_;
+  return ok_result();
+}
+
+void Runtime::stop() {
+  if (!started_) return;
+  for (auto& mapper : mappers_) mapper->stop();
+  // Unmap in id order; withdraw notifies listeners and multicasts byes.
+  while (!translators_.empty()) {
+    (void)unmap(translators_.begin()->first);
+  }
+  directory_->stop();
+  transport_->stop();
+  started_ = false;
+}
+
+Result<TranslatorId> Runtime::map(std::unique_ptr<Translator> translator) {
+  if (translator == nullptr) {
+    return make_error(Errc::invalid_argument, "null translator");
+  }
+  if (translator->profile().shape.empty()) {
+    return make_error(Errc::invalid_argument,
+                      "translator has no ports: " + translator->profile().name);
+  }
+  TranslatorId id(scope_id(++translator_seq_));
+  Translator* raw = translator.get();
+  raw->profile_.id = id;
+  raw->profile_.node = node_;
+  raw->runtime_ = this;
+  translators_[id] = std::move(translator);
+  directory_->publish_local(raw->profile());
+  raw->on_mapped();
+  return id;
+}
+
+void Runtime::instantiate(std::unique_ptr<Translator> translator,
+                          std::function<void(Result<TranslatorId>)> done) {
+  if (translator == nullptr) {
+    if (done) done(make_error(Errc::invalid_argument, "null translator"));
+    return;
+  }
+  sim::Duration cost = config_.costs.instantiation_cost(
+      translator->profile().shape.size(), translator->hierarchy_entities());
+  // Shared ownership only to move the translator through the std::function
+  // (which requires copyability); the lambda is the sole holder.
+  auto holder = std::make_shared<std::unique_ptr<Translator>>(std::move(translator));
+  sched_.schedule_after(cost, [this, holder, done = std::move(done)]() {
+    auto result = map(std::move(*holder));
+    if (done) done(std::move(result));
+  });
+}
+
+Result<void> Runtime::unmap(TranslatorId id) {
+  auto it = translators_.find(id);
+  if (it == translators_.end()) {
+    return make_error(Errc::not_found, "no local translator " + id.to_string());
+  }
+  it->second->on_unmapped();
+  it->second->runtime_ = nullptr;
+  directory_->withdraw_local(id);  // notifies transport, which prunes paths
+  translators_.erase(it);
+  return ok_result();
+}
+
+Translator* Runtime::translator(TranslatorId id) {
+  auto it = translators_.find(id);
+  return it == translators_.end() ? nullptr : it->second.get();
+}
+
+void Runtime::add_mapper(std::unique_ptr<Mapper> mapper) {
+  Mapper* raw = mapper.get();
+  mappers_.push_back(std::move(mapper));
+  if (started_) raw->start(*this);
+}
+
+Result<void> Runtime::route_emit(const PortRef& src, Message msg) {
+  transport_->route(src, msg);
+  return ok_result();
+}
+
+void Runtime::notify_ready(TranslatorId id) { transport_->notify_ready(id); }
+
+}  // namespace umiddle::core

@@ -1,0 +1,114 @@
+// The uMiddle runtime: one intermediary translation node (paper §3.2, Fig. 5).
+//
+// A runtime hosts mappers (which import native devices as translators), the
+// directory module (advertisement exchange across runtimes) and the transport
+// module (message paths). Multiple runtimes on a network form one intermediary
+// semantic space: devices mapped by any of them are usable from all of them.
+//
+// Typical setup (see examples/quickstart.cpp):
+//
+//   sim::Scheduler sched;
+//   net::Network net(sched);
+//   ... create segments and hosts ...
+//   core::Runtime h1(sched, net, "host1");
+//   h1.add_mapper(std::make_unique<upnp::UpnpMapper>(...));
+//   h1.start();
+//   sched.run_for(sim::seconds(2));              // let discovery settle
+//   auto tvs = h1.directory().lookup(Query().digital_input(MimeType::of("image/jpeg")));
+//   h1.transport().connect(camera_port, tvs[0] ...);
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/costmodel.hpp"
+#include "core/directory.hpp"
+#include "core/mapper.hpp"
+#include "core/translator.hpp"
+#include "core/transport.hpp"
+#include "netsim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace umiddle::core {
+
+struct RuntimeConfig {
+  /// UDP port for directory advertisements (shared multicast group).
+  std::uint16_t directory_port = 7700;
+  /// TCP port the transport module listens on for UMTP peers.
+  std::uint16_t umtp_port = 7701;
+  /// Multicast group name joined by all runtimes of one semantic space.
+  std::string group = "umiddle";
+  CostModel costs;
+  /// Explicit node id; 0 = assign from a process-wide counter.
+  std::uint64_t node_id = 0;
+};
+
+class Runtime {
+ public:
+  /// `host` must already exist in `net` and be attached to the segments this
+  /// runtime should reach.
+  Runtime(sim::Scheduler& sched, net::Network& net, std::string host,
+          RuntimeConfig config = {});
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Bind sockets, start directory + transport, then start all mappers.
+  Result<void> start();
+  /// Withdraw all local translators and stop mappers/sockets.
+  void stop();
+  bool started() const { return started_; }
+
+  // --- translator management ----------------------------------------------------
+  /// Register a translator immediately (no instantiation cost) and advertise it.
+  Result<TranslatorId> map(std::unique_ptr<Translator> translator);
+  /// Mapper path: charge the Fig. 10 instantiation cost in virtual time, then
+  /// map. `done` (optional) receives the assigned id.
+  void instantiate(std::unique_ptr<Translator> translator,
+                   std::function<void(Result<TranslatorId>)> done = {});
+  Result<void> unmap(TranslatorId id);
+  /// Locally hosted translator by id, or nullptr.
+  Translator* translator(TranslatorId id);
+
+  void add_mapper(std::unique_ptr<Mapper> mapper);
+
+  // --- modules / context ---------------------------------------------------------
+  Directory& directory() { return *directory_; }
+  const Directory& directory() const { return *directory_; }
+  Transport& transport() { return *transport_; }
+  const Transport& transport() const { return *transport_; }
+
+  NodeId node() const { return node_; }
+  const std::string& host() const { return host_; }
+  sim::Scheduler& scheduler() { return sched_; }
+  net::Network& network() { return net_; }
+  const CostModel& costs() const { return config_.costs; }
+  const RuntimeConfig& config() const { return config_; }
+
+  // --- called by translators -------------------------------------------------------
+  /// Route a message emitted by a local translator (via Translator::emit).
+  Result<void> route_emit(const PortRef& src, Message msg);
+  /// A translator's input became ready again; resume blocked paths.
+  void notify_ready(TranslatorId id);
+
+  /// Globally unique id helper: embeds this node's id in the upper bits.
+  std::uint64_t scope_id(std::uint64_t seq) const { return (node_.value() << 32) | seq; }
+
+ private:
+  sim::Scheduler& sched_;
+  net::Network& net_;
+  std::string host_;
+  RuntimeConfig config_;
+  NodeId node_;
+  bool started_ = false;
+  std::unique_ptr<Directory> directory_;
+  std::unique_ptr<Transport> transport_;
+  std::map<TranslatorId, std::unique_ptr<Translator>> translators_;
+  std::vector<std::unique_ptr<Mapper>> mappers_;
+  std::uint64_t translator_seq_ = 0;
+};
+
+}  // namespace umiddle::core

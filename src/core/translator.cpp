@@ -1,0 +1,34 @@
+#include "core/translator.hpp"
+
+#include "core/runtime.hpp"
+
+namespace umiddle::core {
+
+Translator::Translator(std::string name, std::string platform, std::string device_type,
+                       Shape shape) {
+  profile_.name = std::move(name);
+  profile_.platform = std::move(platform);
+  profile_.device_type = std::move(device_type);
+  profile_.shape = std::move(shape);
+}
+
+Result<void> Translator::emit(const std::string& port, Message msg) {
+  if (runtime_ == nullptr) {
+    return make_error(Errc::internal, "translator not mapped: " + profile_.name);
+  }
+  const PortSpec* spec = profile_.shape.find(port);
+  if (spec == nullptr) {
+    return make_error(Errc::not_found, "no such port: " + port + " on " + profile_.name);
+  }
+  if (spec->kind != PortKind::digital || spec->direction != Direction::output) {
+    return make_error(Errc::invalid_argument, "emit requires a digital output port: " + port);
+  }
+  if (!spec->type.matches(msg.type)) {
+    return make_error(Errc::incompatible, "message type " + msg.type.to_string() +
+                                              " does not match port type " +
+                                              spec->type.to_string());
+  }
+  return runtime_->route_emit(PortRef{profile_.id, port}, std::move(msg));
+}
+
+}  // namespace umiddle::core

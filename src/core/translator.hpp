@@ -1,0 +1,71 @@
+// Translator: the device-level bridge (paper §3.2).
+//
+// A translator (1) projects a native device's semantics into the intermediary
+// semantic space as a shape of ports, (2) acts as a proxy — messages delivered
+// to its input ports trigger operations on the native device, and native
+// activity is emitted from its output ports — and (3) encapsulates the
+// device-specific protocol, built on the base-protocol support of its mapper.
+//
+// Concrete subclasses live in the platform modules (a generic one per platform,
+// parameterized by USDL) and in native uMiddle services (native_device.hpp).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/message.hpp"
+#include "core/profile.hpp"
+
+namespace umiddle::core {
+
+class Runtime;
+
+class Translator {
+ public:
+  /// Shape and identity are fixed at construction; id/node are assigned when
+  /// the translator is mapped into a runtime.
+  Translator(std::string name, std::string platform, std::string device_type, Shape shape);
+  virtual ~Translator() = default;
+  Translator(const Translator&) = delete;
+  Translator& operator=(const Translator&) = delete;
+
+  const TranslatorProfile& profile() const { return profile_; }
+  /// Extra intermediary entities this translator needed (for Fig. 10 costing).
+  int hierarchy_entities() const { return hierarchy_entities_; }
+  void set_hierarchy_entities(int n) { hierarchy_entities_ = n; }
+
+  /// uMiddle → native: a message arrives on one of our digital input ports.
+  /// Implementations run the corresponding native operation.
+  virtual Result<void> deliver(const std::string& port, const Message& msg) = 0;
+
+  /// Lifecycle notifications from the runtime.
+  virtual void on_mapped() {}
+  virtual void on_unmapped() {}
+
+  /// Backpressure signal: false while the native device cannot accept another
+  /// message on this input port (e.g. a synchronous RMI call is outstanding).
+  /// The transport pauses path drainage and resumes when the translator calls
+  /// Runtime::notify_ready(). This is what makes the paper's §5.3 "translation
+  /// buffer" accumulation observable.
+  virtual bool ready(const std::string& port) const {
+    (void)port;
+    return true;
+  }
+
+  bool mapped() const { return runtime_ != nullptr; }
+  Runtime* runtime() const { return runtime_; }
+
+ protected:
+  /// native → uMiddle: push a message out of one of our digital output ports.
+  /// Validates the port exists, is a digital output, and accepts msg.type;
+  /// then routes through the hosting runtime's transport.
+  Result<void> emit(const std::string& port, Message msg);
+
+ private:
+  friend class Runtime;
+  TranslatorProfile profile_;
+  int hierarchy_entities_ = 0;
+  Runtime* runtime_ = nullptr;
+};
+
+}  // namespace umiddle::core

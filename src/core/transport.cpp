@@ -1,0 +1,453 @@
+#include "core/transport.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "core/runtime.hpp"
+
+namespace umiddle::core {
+
+Transport::Transport(Runtime& runtime) : runtime_(runtime) {}
+
+Transport::~Transport() = default;
+
+Result<void> Transport::start() {
+  if (started_) return ok_result();
+  net::Endpoint local{runtime_.host(), runtime_.config().umtp_port};
+  auto r = runtime_.network().listen(
+      local, [this](net::StreamPtr stream) { accept_peer(std::move(stream)); });
+  if (!r.ok()) return r;
+  started_ = true;
+  return ok_result();
+}
+
+void Transport::stop() {
+  if (!started_) return;
+  runtime_.network().stop_listening({runtime_.host(), runtime_.config().umtp_port});
+  // close() fires close handlers synchronously, which mutate these containers;
+  // detach them before walking.
+  auto links = std::move(links_);
+  links_.clear();
+  for (auto& [node, link] : links) {
+    if (link.stream) link.stream->close();
+  }
+  auto peers = std::move(peer_streams_);
+  peer_streams_.clear();
+  for (auto& stream : peers) stream->close();
+  paths_.clear();
+  remote_paths_.clear();
+  started_ = false;
+}
+
+// --- connect / disconnect ------------------------------------------------------
+
+Result<PathId> Transport::connect(const PortRef& src, const PortRef& dst, QosPolicy qos) {
+  return connect_impl(src, dst, std::move(qos));
+}
+
+Result<PathId> Transport::connect(const PortRef& src, Query dst, QosPolicy qos) {
+  return connect_impl(src, std::move(dst), std::move(qos));
+}
+
+Result<PathId> Transport::connect_impl(const PortRef& src, std::variant<PortRef, Query> dst,
+                                       QosPolicy qos) {
+  const TranslatorProfile* src_profile = runtime_.directory().profile(src.translator);
+  if (src_profile == nullptr) {
+    return make_error(Errc::not_found, "unknown source translator: " + src.to_string());
+  }
+  const PortSpec* src_port = src_profile->shape.find(src.port);
+  if (src_port == nullptr) {
+    return make_error(Errc::not_found, "unknown source port: " + src.to_string());
+  }
+  if (src_port->kind != PortKind::digital || src_port->direction != Direction::output) {
+    return make_error(Errc::invalid_argument,
+                      "source must be a digital output port: " + src.to_string());
+  }
+  if (const auto* fixed = std::get_if<PortRef>(&dst)) {
+    const TranslatorProfile* dst_profile = runtime_.directory().profile(fixed->translator);
+    if (dst_profile == nullptr) {
+      return make_error(Errc::not_found, "unknown destination translator: " + fixed->to_string());
+    }
+    const PortSpec* dst_port = dst_profile->shape.find(fixed->port);
+    if (dst_port == nullptr) {
+      return make_error(Errc::not_found, "unknown destination port: " + fixed->to_string());
+    }
+    if (!PortSpec::connectable(*src_port, *dst_port)) {
+      return make_error(Errc::incompatible,
+                        "ports not connectable: " + src.to_string() + " -> " +
+                            fixed->to_string() + " (" + src_port->type.to_string() + " -> " +
+                            dst_port->type.to_string() + ")");
+    }
+  }
+
+  PathId id(runtime_.scope_id(path_seq_.next().value()));
+  Path path;
+  path.id = id;
+  path.src = src;
+  path.src_type = src_port->type;
+  path.qos = qos;
+  if (qos.shaped()) {
+    path.bucket = std::make_unique<TokenBucket>(*qos.rate_bytes_per_sec, qos.burst_bytes);
+  }
+  if (auto* fixed = std::get_if<PortRef>(&dst)) {
+    path.fixed_dst = std::move(*fixed);
+  } else {
+    path.query_dst = std::move(std::get<Query>(dst));
+  }
+
+  if (src_profile->node == runtime_.node()) {
+    if (auto r = install_path(std::move(path)); !r.ok()) return r.error();
+    return id;
+  }
+
+  // The path lives at the node hosting the source translator (paper §3.5);
+  // forward the request there as a CONNECT frame.
+  NodeLink* link = link_to(src_profile->node);
+  if (link == nullptr) {
+    return make_error(Errc::disconnected,
+                      "no route to hosting node " + src_profile->node.to_string());
+  }
+  umtp::ConnectFrame frame;
+  frame.path = id;
+  frame.src = src;
+  if (path.fixed_dst) {
+    frame.dst = *path.fixed_dst;
+  } else {
+    frame.dst = *path.query_dst;
+  }
+  link_send(*link, umtp::encode(umtp::Frame{std::move(frame)}));
+  remote_paths_[id] = src_profile->node;
+  return id;
+}
+
+Result<void> Transport::install_path(Path path) {
+  if (path.fixed_dst) {
+    path.bound.push_back(*path.fixed_dst);
+  } else {
+    bind_query_matches(path);
+  }
+  path.stats.bound_destinations = path.bound.size();
+  PathId id = path.id;
+  paths_[id] = std::move(path);
+  return ok_result();
+}
+
+void Transport::bind_query_matches(Path& path) {
+  for (const TranslatorProfile& profile : runtime_.directory().lookup(*path.query_dst)) {
+    auto port = pick_input_port(path, profile);
+    if (!port) continue;
+    if (std::find(path.bound.begin(), path.bound.end(), *port) == path.bound.end()) {
+      path.bound.push_back(std::move(*port));
+    }
+  }
+}
+
+std::optional<PortRef> Transport::pick_input_port(const Path& path,
+                                                  const TranslatorProfile& profile) const {
+  PortSpec out;
+  out.kind = PortKind::digital;
+  out.direction = Direction::output;
+  out.type = path.src_type;
+  for (const PortSpec* in : profile.shape.digital_inputs()) {
+    PortRef ref{profile.id, in->name};
+    if (ref == path.src) continue;  // never loop a port back into itself
+    if (PortSpec::connectable(out, *in)) return ref;
+  }
+  return std::nullopt;
+}
+
+Result<void> Transport::disconnect(PathId id) {
+  if (paths_.erase(id) > 0) return ok_result();
+  auto it = remote_paths_.find(id);
+  if (it != remote_paths_.end()) {
+    if (NodeLink* link = link_to(it->second); link != nullptr) {
+      link_send(*link, umtp::encode(umtp::Frame{umtp::DisconnectFrame{id}}));
+    }
+    remote_paths_.erase(it);
+    return ok_result();
+  }
+  return make_error(Errc::not_found, "unknown path: " + id.to_string());
+}
+
+const PathStats* Transport::stats(PathId id) const {
+  auto it = paths_.find(id);
+  return it == paths_.end() ? nullptr : &it->second.stats;
+}
+
+std::vector<PortRef> Transport::bound_destinations(PathId id) const {
+  auto it = paths_.find(id);
+  return it == paths_.end() ? std::vector<PortRef>{} : it->second.bound;
+}
+
+// --- routing ----------------------------------------------------------------------
+
+void Transport::route(const PortRef& src, const Message& msg) {
+  for (auto& [id, path] : paths_) {
+    if (!(path.src == src)) continue;
+    for (const PortRef& dst : path.bound) enqueue(path, dst, msg);
+  }
+}
+
+void Transport::enqueue(Path& path, const PortRef& dst, const Message& msg) {
+  const std::size_t bytes = msg.payload.size();
+  if (path.qos.bounded() &&
+      path.stats.buffered_bytes + bytes > path.qos.max_buffered_bytes) {
+    path.stats.messages_dropped += 1;
+    return;
+  }
+  path.queue.push_back(Pending{dst, msg});
+  path.stats.buffered_bytes += bytes;
+  path.stats.max_buffered_bytes =
+      std::max(path.stats.max_buffered_bytes, path.stats.buffered_bytes);
+  drain(path);
+}
+
+bool Transport::destination_ready(const PortRef& dst) const {
+  const TranslatorProfile* profile = runtime_.directory().profile(dst.translator);
+  if (profile == nullptr) return true;  // will be dropped at dispatch
+  if (profile->node == runtime_.node()) {
+    // Local delivery: honour the translator's backpressure signal.
+    // (const_cast-free lookup: Runtime::translator is non-const only.)
+    Translator* t = const_cast<Runtime&>(runtime_).translator(dst.translator);
+    return t == nullptr || t->ready(dst.port);
+  }
+  // Remote delivery: pause while the link's unsent backlog is high.
+  auto it = links_.find(profile->node);
+  if (it == links_.end() || !it->second.connected) return true;  // outbox absorbs
+  return it->second.stream->pending() < kLinkWatermark;
+}
+
+void Transport::drain(Path& path) {
+  if (path.drain_scheduled) return;
+  if (path.queue.empty()) return;
+
+  Pending& front = path.queue.front();
+  const std::size_t bytes = front.msg.payload.size();
+
+  if (path.qos.shaped()) {
+    sim::Duration delay = path.bucket->delay_for(bytes, runtime_.scheduler().now());
+    if (delay > sim::Duration(0)) {
+      schedule_drain(path.id, delay);
+      return;
+    }
+  }
+  if (!destination_ready(front.dst)) return;  // resumed by notify_ready / link drain
+  if (path.qos.shaped()) {
+    path.bucket->try_consume(bytes, runtime_.scheduler().now());
+  }
+
+  Pending item = std::move(front);
+  path.queue.pop_front();
+  path.stats.buffered_bytes -= bytes;
+
+  // Translation is serialized per path: charge the marshal/unmarshal cost in
+  // virtual time, deliver, then continue draining.
+  sim::Duration cost = runtime_.costs().translation_cost(bytes);
+  path.drain_scheduled = true;
+  PathId id = path.id;
+  runtime_.scheduler().schedule_after(cost, [this, id, item = std::move(item)]() mutable {
+    auto it = paths_.find(id);
+    if (it == paths_.end()) return;  // path disconnected while translating
+    it->second.drain_scheduled = false;
+    dispatch(it->second, std::move(item));
+    auto again = paths_.find(id);  // dispatch may mutate the path table
+    if (again != paths_.end()) drain(again->second);
+  });
+}
+
+void Transport::schedule_drain(PathId id, sim::Duration delay) {
+  auto it = paths_.find(id);
+  if (it == paths_.end() || it->second.drain_scheduled) return;
+  it->second.drain_scheduled = true;
+  runtime_.scheduler().schedule_after(delay, [this, id]() {
+    auto path = paths_.find(id);
+    if (path == paths_.end()) return;
+    path->second.drain_scheduled = false;
+    drain(path->second);
+  });
+}
+
+void Transport::dispatch(Path& path, Pending item) {
+  const TranslatorProfile* profile = runtime_.directory().profile(item.dst.translator);
+  if (profile == nullptr) {
+    path.stats.messages_dropped += 1;
+    return;
+  }
+  path.stats.messages_forwarded += 1;
+  path.stats.bytes_forwarded += item.msg.payload.size();
+
+  if (profile->node == runtime_.node()) {
+    Translator* t = runtime_.translator(item.dst.translator);
+    if (t == nullptr) {
+      path.stats.messages_dropped += 1;
+      return;
+    }
+    if (auto r = t->deliver(item.dst.port, item.msg); !r.ok()) {
+      log::Entry(log::Level::warn, "transport")
+          << "deliver to " << item.dst.to_string() << " failed: " << r.error().to_string();
+    }
+    return;
+  }
+
+  NodeLink* link = link_to(profile->node);
+  if (link == nullptr) {
+    path.stats.messages_dropped += 1;
+    return;
+  }
+  link_send(*link, umtp::encode(umtp::Frame{umtp::DataFrame{item.dst, std::move(item.msg)}}));
+}
+
+void Transport::notify_ready(TranslatorId) { resume_paths(); }
+
+void Transport::resume_paths() {
+  for (auto& [id, path] : paths_) drain(path);
+}
+
+// --- directory reactions ------------------------------------------------------------
+
+void Transport::on_mapped(const TranslatorProfile& profile) {
+  for (auto& [id, path] : paths_) {
+    if (!path.query_dst) continue;
+    if (!matches(*path.query_dst, profile)) continue;
+    auto port = pick_input_port(path, profile);
+    if (!port) continue;
+    if (std::find(path.bound.begin(), path.bound.end(), *port) == path.bound.end()) {
+      path.bound.push_back(std::move(*port));
+      path.stats.bound_destinations = path.bound.size();
+    }
+  }
+}
+
+void Transport::on_unmapped(const TranslatorProfile& profile) {
+  // Paths whose source vanished are torn down entirely.
+  for (auto it = paths_.begin(); it != paths_.end();) {
+    if (it->second.src.translator == profile.id) {
+      it = paths_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Unbind the translator's ports everywhere and drop queued messages to it.
+  for (auto& [id, path] : paths_) {
+    std::erase_if(path.bound,
+                  [&](const PortRef& ref) { return ref.translator == profile.id; });
+    path.stats.bound_destinations = path.bound.size();
+    std::size_t dropped_bytes = 0;
+    std::erase_if(path.queue, [&](const Pending& p) {
+      if (p.dst.translator != profile.id) return false;
+      dropped_bytes += p.msg.payload.size();
+      path.stats.messages_dropped += 1;
+      return true;
+    });
+    path.stats.buffered_bytes -= dropped_bytes;
+  }
+}
+
+// --- UMTP plumbing ---------------------------------------------------------------------
+
+Transport::NodeLink* Transport::link_to(NodeId node) {
+  auto it = links_.find(node);
+  if (it != links_.end()) return &it->second;
+
+  const NodeInfo* info = runtime_.directory().node_info(node);
+  if (info == nullptr) return nullptr;
+  auto stream = runtime_.network().connect(runtime_.host(), {info->host, info->umtp_port});
+  if (!stream.ok()) {
+    log::Entry(log::Level::warn, "transport")
+        << "cannot reach node " << node.to_string() << ": " << stream.error().to_string();
+    return nullptr;
+  }
+  NodeLink& link = links_[node];
+  link.node = node;
+  link.stream = stream.value();
+  link.stream->on_connected([this, node]() {
+    auto l = links_.find(node);
+    if (l == links_.end()) return;
+    l->second.connected = true;
+    for (Bytes& frame : l->second.outbox) {
+      (void)l->second.stream->send(std::move(frame));
+    }
+    l->second.outbox.clear();
+  });
+  link.stream->on_drain([this]() { resume_paths(); });
+  link.stream->on_close([this, node]() {
+    runtime_.scheduler().post([this, node]() { links_.erase(node); });
+  });
+  return &link;
+}
+
+void Transport::link_send(NodeLink& link, Bytes frame) {
+  if (!link.connected) {
+    link.outbox.push_back(std::move(frame));
+    return;
+  }
+  (void)link.stream->send(std::move(frame));
+}
+
+void Transport::accept_peer(net::StreamPtr stream) {
+  auto assembler = std::make_shared<umtp::FrameAssembler>();
+  peer_streams_.push_back(stream);
+  net::Stream* raw = stream.get();
+  stream->on_data([this, assembler](std::span<const std::uint8_t> chunk) {
+    handle_frames(assembler, chunk);
+  });
+  stream->on_close([this, raw]() {
+    std::erase_if(peer_streams_, [raw](const net::StreamPtr& s) { return s.get() == raw; });
+  });
+}
+
+void Transport::handle_frames(const std::shared_ptr<umtp::FrameAssembler>& assembler,
+                              std::span<const std::uint8_t> chunk) {
+  std::vector<umtp::Frame> frames;
+  if (auto r = assembler->feed(chunk, frames); !r.ok()) {
+    log::Entry(log::Level::warn, "transport") << "bad UMTP frame: " << r.error().to_string();
+    return;
+  }
+  for (umtp::Frame& frame : frames) handle_frame(std::move(frame));
+}
+
+void Transport::handle_frame(umtp::Frame frame) {
+  if (auto* data = std::get_if<umtp::DataFrame>(&frame)) {
+    Translator* t = runtime_.translator(data->dst.translator);
+    if (t == nullptr) {
+      log::Entry(log::Level::warn, "transport")
+          << "DATA for unknown translator " << data->dst.to_string();
+      return;
+    }
+    if (auto r = t->deliver(data->dst.port, data->message); !r.ok()) {
+      log::Entry(log::Level::warn, "transport")
+          << "deliver " << data->dst.to_string() << " failed: " << r.error().to_string();
+    }
+    return;
+  }
+  if (auto* conn = std::get_if<umtp::ConnectFrame>(&frame)) {
+    const TranslatorProfile* src_profile = runtime_.directory().profile(conn->src.translator);
+    if (src_profile == nullptr || src_profile->node != runtime_.node()) {
+      log::Entry(log::Level::warn, "transport")
+          << "CONNECT for non-local source " << conn->src.to_string();
+      return;
+    }
+    const PortSpec* src_port = src_profile->shape.find(conn->src.port);
+    if (src_port == nullptr || src_port->kind != PortKind::digital ||
+        src_port->direction != Direction::output) {
+      log::Entry(log::Level::warn, "transport")
+          << "CONNECT with bad source port " << conn->src.to_string();
+      return;
+    }
+    Path path;
+    path.id = conn->path;
+    path.src = conn->src;
+    path.src_type = src_port->type;
+    if (auto* fixed = std::get_if<PortRef>(&conn->dst)) {
+      path.fixed_dst = *fixed;
+    } else {
+      path.query_dst = std::get<Query>(conn->dst);
+    }
+    (void)install_path(std::move(path));
+    return;
+  }
+  const auto& disc = std::get<umtp::DisconnectFrame>(frame);
+  paths_.erase(disc.path);
+}
+
+}  // namespace umiddle::core

@@ -1,0 +1,152 @@
+// The uMiddle transport module (paper §3.2, §3.5, Fig. 7).
+//
+// Implements message paths between translator ports, locally and across runtime
+// nodes (over UMTP streams), including the paper's two connection forms:
+//
+//   connect(OutputPort src, InputPort dst)  — a fixed path between two ports;
+//   connect(Port src, Query dst)            — a *dynamic message path*: the
+//       runtime hosting the source port evaluates the template adaptively as
+//       translators appear and disappear, binding to every matching
+//       translator's compatible input port (dynamic device binding, §3.5).
+//
+// Each path owns a *translation buffer*: messages wait there while the
+// destination is applying backpressure (a slow native protocol, or a congested
+// inter-node link). An optional QosPolicy adds token-bucket rate shaping and a
+// buffer bound — the QoS control the paper names as future work (§5.3, §7).
+//
+// A path lives on the node hosting its source translator. connect() calls made
+// elsewhere are forwarded there as UMTP CONNECT frames; PathIds embed the
+// requesting node, so they are globally unique and can be disconnected from
+// anywhere.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <variant>
+#include <vector>
+
+#include "core/directory.hpp"
+#include "core/qos.hpp"
+#include "core/umtp.hpp"
+#include "netsim/stream.hpp"
+
+namespace umiddle::core {
+
+class Runtime;
+
+/// Per-path counters, exposed for applications and the QoS ablation bench.
+struct PathStats {
+  std::uint64_t messages_forwarded = 0;
+  std::uint64_t bytes_forwarded = 0;
+  /// Messages dropped because the bounded translation buffer was full.
+  std::uint64_t messages_dropped = 0;
+  /// Current translation-buffer occupancy in bytes.
+  std::size_t buffered_bytes = 0;
+  /// High-water mark of the translation buffer.
+  std::size_t max_buffered_bytes = 0;
+  std::size_t bound_destinations = 0;
+};
+
+class Transport final : public DirectoryListener {
+ public:
+  explicit Transport(Runtime& runtime);
+  ~Transport() override;
+
+  /// Listen for UMTP connections from peer runtimes.
+  Result<void> start();
+  void stop();
+
+  // --- paper Fig. 7 API ---------------------------------------------------------
+  /// (1) Fixed path between an output and an input port. Both translators must
+  /// be known to the directory and compatible.
+  Result<PathId> connect(const PortRef& src, const PortRef& dst, QosPolicy qos = {});
+  /// (2) Dynamic message path from a port to every translator matching `dst`,
+  /// re-evaluated as translators are mapped and unmapped.
+  Result<PathId> connect(const PortRef& src, Query dst, QosPolicy qos = {});
+  Result<void> disconnect(PathId path);
+
+  /// Stats for a locally hosted path; nullptr for unknown/remote paths.
+  const PathStats* stats(PathId path) const;
+  /// Concrete destinations currently bound to a locally hosted path.
+  std::vector<PortRef> bound_destinations(PathId path) const;
+  std::size_t local_path_count() const { return paths_.size(); }
+
+  // --- runtime-internal ------------------------------------------------------------
+  /// A local translator emitted a message from an output port.
+  void route(const PortRef& src, const Message& msg);
+  /// A local translator became ready again; resume paths feeding it.
+  void notify_ready(TranslatorId id);
+
+  // DirectoryListener: keep query paths bound to the live translator population.
+  void on_mapped(const TranslatorProfile& profile) override;
+  void on_unmapped(const TranslatorProfile& profile) override;
+
+ private:
+  struct Pending {
+    PortRef dst;
+    Message msg;
+  };
+
+  struct Path {
+    PathId id;
+    PortRef src;
+    MimeType src_type;  ///< type of the source port, cached at connect time
+    std::optional<PortRef> fixed_dst;
+    std::optional<Query> query_dst;
+    std::vector<PortRef> bound;
+    QosPolicy qos;
+    std::unique_ptr<TokenBucket> bucket;
+    std::deque<Pending> queue;
+    bool drain_scheduled = false;
+    PathStats stats;
+  };
+
+  struct NodeLink {
+    NodeId node;
+    net::StreamPtr stream;
+    umtp::FrameAssembler assembler;
+    bool connected = false;
+    std::deque<Bytes> outbox;  ///< frames awaiting the connection handshake
+  };
+
+  /// High-water mark on a link's unsent bytes before paths pause.
+  static constexpr std::size_t kLinkWatermark = 64 * 1024;
+
+  Result<PathId> connect_impl(const PortRef& src, std::variant<PortRef, Query> dst,
+                              QosPolicy qos);
+  /// Install a path on this (hosting) node and bind destinations.
+  Result<void> install_path(Path path);
+  void bind_query_matches(Path& path);
+  /// First input port of `profile` connectable from the source type, if any.
+  std::optional<PortRef> pick_input_port(const Path& path, const TranslatorProfile& profile) const;
+  void enqueue(Path& path, const PortRef& dst, const Message& msg);
+  void drain(Path& path);
+  void schedule_drain(PathId id, sim::Duration delay);
+  /// True if the destination can accept a message right now.
+  bool destination_ready(const PortRef& dst) const;
+  /// Hand one message to its destination (after charging translation cost).
+  void dispatch(Path& path, Pending item);
+
+  NodeLink* link_to(NodeId node);
+  void link_send(NodeLink& link, Bytes frame);
+  void accept_peer(net::StreamPtr stream);
+  void handle_frames(const std::shared_ptr<umtp::FrameAssembler>& assembler,
+                     std::span<const std::uint8_t> chunk);
+  void handle_frame(umtp::Frame frame);
+  void resume_paths();
+
+  Runtime& runtime_;
+  bool started_ = false;
+  std::map<PathId, Path> paths_;
+  /// Paths created here but hosted remotely: path → hosting node.
+  std::map<PathId, NodeId> remote_paths_;
+  std::map<NodeId, NodeLink> links_;
+  /// Streams accepted from peers (we only read frames from them).
+  std::vector<net::StreamPtr> peer_streams_;
+  IdGenerator<PathId> path_seq_;
+};
+
+}  // namespace umiddle::core

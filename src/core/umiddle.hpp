@@ -1,0 +1,19 @@
+// Umbrella header: the full public API of the uMiddle core.
+//
+// uMiddle (Nakazawa et al., ICDCS 2006) is a bridging framework for universal
+// interoperability in pervasive systems. See README.md for a tour and
+// examples/quickstart.cpp for a complete program.
+#pragma once
+
+#include "core/costmodel.hpp"     // virtual-time cost model (calibration knobs)
+#include "core/directory.hpp"     // lookup(Query) / addDirectoryListener (Fig. 6)
+#include "core/mapper.hpp"        // service-level bridges
+#include "core/message.hpp"       // typed messages
+#include "core/native_device.hpp" // services native to uMiddle
+#include "core/profile.hpp"       // translator profiles + PortRef
+#include "core/qos.hpp"           // QoS policies (the paper's future work)
+#include "core/runtime.hpp"       // the intermediary translation node
+#include "core/shape.hpp"         // service shaping: ports, shapes, queries
+#include "core/translator.hpp"    // device-level bridges
+#include "core/transport.hpp"     // connect(port, port) / connect(port, query) (Fig. 7)
+#include "core/usdl.hpp"          // Universal Service Description Language

@@ -1,0 +1,157 @@
+#include "core/umtp.hpp"
+
+#include "xml/parser.hpp"
+
+namespace umiddle::core::umtp {
+namespace {
+
+constexpr std::size_t kMaxFrame = 16 * 1024 * 1024;
+
+void encode_body(const Frame& frame, ByteWriter& w) {
+  if (const auto* data = std::get_if<DataFrame>(&frame)) {
+    w.u8(static_cast<std::uint8_t>(FrameType::data));
+    w.u64(data->dst.translator.value());
+    w.str16(data->dst.port);
+    w.str16(data->message.type.to_string());
+    w.u16(static_cast<std::uint16_t>(data->message.meta.size()));
+    for (const auto& [k, v] : data->message.meta) {
+      w.str16(k);
+      w.str16(v);
+    }
+    w.u32(static_cast<std::uint32_t>(data->message.payload.size()));
+    w.bytes(data->message.payload);
+  } else if (const auto* conn = std::get_if<ConnectFrame>(&frame)) {
+    w.u8(static_cast<std::uint8_t>(FrameType::connect));
+    w.u64(conn->path.value());
+    w.u64(conn->src.translator.value());
+    w.str16(conn->src.port);
+    if (const auto* fixed = std::get_if<PortRef>(&conn->dst)) {
+      w.u8(1);
+      w.u64(fixed->translator.value());
+      w.str16(fixed->port);
+    } else {
+      w.u8(2);
+      w.str16(std::get<Query>(conn->dst).to_xml().to_string());
+    }
+  } else {
+    const auto& disc = std::get<DisconnectFrame>(frame);
+    w.u8(static_cast<std::uint8_t>(FrameType::disconnect));
+    w.u64(disc.path.value());
+  }
+}
+
+}  // namespace
+
+Bytes encode(const Frame& frame) {
+  ByteWriter body;
+  encode_body(frame, body);
+  ByteWriter out;
+  out.u32(static_cast<std::uint32_t>(body.size()));
+  out.bytes(body.data());
+  return out.take();
+}
+
+Result<Frame> decode_body(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  auto type = r.u8();
+  if (!type.ok()) return type.error();
+  switch (static_cast<FrameType>(type.value())) {
+    case FrameType::data: {
+      DataFrame f;
+      auto id = r.u64();
+      if (!id.ok()) return id.error();
+      f.dst.translator = TranslatorId(id.value());
+      auto port = r.str16();
+      if (!port.ok()) return port.error();
+      f.dst.port = std::move(port).take();
+      auto mime_text = r.str16();
+      if (!mime_text.ok()) return mime_text.error();
+      auto mime = MimeType::parse(mime_text.value());
+      if (!mime.ok()) return mime.error();
+      f.message.type = std::move(mime).take();
+      auto n_meta = r.u16();
+      if (!n_meta.ok()) return n_meta.error();
+      for (std::uint16_t i = 0; i < n_meta.value(); ++i) {
+        auto k = r.str16();
+        if (!k.ok()) return k.error();
+        auto v = r.str16();
+        if (!v.ok()) return v.error();
+        f.message.meta[k.value()] = v.value();
+      }
+      auto len = r.u32();
+      if (!len.ok()) return len.error();
+      auto payload = r.bytes(len.value());
+      if (!payload.ok()) return payload.error();
+      f.message.payload = std::move(payload).take();
+      if (!r.at_end()) return make_error(Errc::protocol_error, "trailing bytes in DATA frame");
+      return Frame{std::move(f)};
+    }
+    case FrameType::connect: {
+      ConnectFrame f;
+      auto path = r.u64();
+      if (!path.ok()) return path.error();
+      f.path = PathId(path.value());
+      auto src_id = r.u64();
+      if (!src_id.ok()) return src_id.error();
+      f.src.translator = TranslatorId(src_id.value());
+      auto src_port = r.str16();
+      if (!src_port.ok()) return src_port.error();
+      f.src.port = std::move(src_port).take();
+      auto kind = r.u8();
+      if (!kind.ok()) return kind.error();
+      if (kind.value() == 1) {
+        PortRef dst;
+        auto dst_id = r.u64();
+        if (!dst_id.ok()) return dst_id.error();
+        dst.translator = TranslatorId(dst_id.value());
+        auto dst_port = r.str16();
+        if (!dst_port.ok()) return dst_port.error();
+        dst.port = std::move(dst_port).take();
+        f.dst = std::move(dst);
+      } else if (kind.value() == 2) {
+        auto text = r.str16();
+        if (!text.ok()) return text.error();
+        auto el = xml::parse(text.value());
+        if (!el.ok()) return el.error();
+        auto q = Query::from_xml(el.value());
+        if (!q.ok()) return q.error();
+        f.dst = std::move(q).take();
+      } else {
+        return make_error(Errc::protocol_error, "bad CONNECT dst kind");
+      }
+      if (!r.at_end()) return make_error(Errc::protocol_error, "trailing bytes in CONNECT frame");
+      return Frame{std::move(f)};
+    }
+    case FrameType::disconnect: {
+      auto path = r.u64();
+      if (!path.ok()) return path.error();
+      if (!r.at_end()) return make_error(Errc::protocol_error, "trailing bytes in DISCONNECT frame");
+      return Frame{DisconnectFrame{PathId(path.value())}};
+    }
+  }
+  return make_error(Errc::protocol_error, "unknown frame type " + std::to_string(type.value()));
+}
+
+Result<void> FrameAssembler::feed(std::span<const std::uint8_t> chunk, std::vector<Frame>& out) {
+  if (poisoned_) return *poisoned_;
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  while (buffer_.size() >= 4) {
+    ByteReader header(buffer_);
+    std::uint32_t len = header.u32().value();
+    if (len > kMaxFrame) {
+      poisoned_ = make_error(Errc::protocol_error, "frame too large: " + std::to_string(len));
+      return *poisoned_;
+    }
+    if (buffer_.size() < 4 + len) break;
+    auto frame = decode_body(std::span(buffer_).subspan(4, len));
+    if (!frame.ok()) {
+      poisoned_ = frame.error();
+      return *poisoned_;
+    }
+    out.push_back(std::move(frame).take());
+    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+  }
+  return ok_result();
+}
+
+}  // namespace umiddle::core::umtp

@@ -1,0 +1,66 @@
+// UMTP — the uMiddle transport protocol (binary, over a reliable stream).
+//
+// Inter-node frames carry either data for a translator port or path-management
+// control (paper §3.2: "the uMiddle transport module serves to allow
+// communication among translators situated in different nodes").
+//
+// Wire format (big-endian):
+//   u32 length of everything after this field
+//   u8  type            1=DATA 2=CONNECT 3=DISCONNECT
+//   DATA:       u64 dst-translator, str16 port, str16 mime,
+//               u16 n-meta, n × (str16 key, str16 value), u32 len, payload
+//   CONNECT:    u64 path-id, u64 src-translator, str16 src-port,
+//               u8 dst-kind (1=fixed 2=query),
+//               fixed → u64 dst-translator, str16 dst-port
+//               query → str16 query-xml
+//   DISCONNECT: u64 path-id
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "common/bytes.hpp"
+#include "core/message.hpp"
+#include "core/profile.hpp"
+#include "core/shape.hpp"
+
+namespace umiddle::core::umtp {
+
+enum class FrameType : std::uint8_t { data = 1, connect = 2, disconnect = 3 };
+
+struct DataFrame {
+  PortRef dst;
+  Message message;
+};
+
+struct ConnectFrame {
+  PathId path;
+  PortRef src;
+  std::variant<PortRef, Query> dst;
+};
+
+struct DisconnectFrame {
+  PathId path;
+};
+
+using Frame = std::variant<DataFrame, ConnectFrame, DisconnectFrame>;
+
+Bytes encode(const Frame& frame);
+
+/// Incrementally reassembles frames from stream chunks.
+class FrameAssembler {
+ public:
+  /// Feed received bytes; complete frames are appended to out. A malformed
+  /// frame poisons the assembler (subsequent feeds return the same error) —
+  /// callers should drop the connection, as real framed protocols do.
+  Result<void> feed(std::span<const std::uint8_t> chunk, std::vector<Frame>& out);
+
+ private:
+  Bytes buffer_;
+  std::optional<Error> poisoned_;
+};
+
+/// Decode one frame body (without the u32 length prefix). Exposed for tests.
+Result<Frame> decode_body(std::span<const std::uint8_t> body);
+
+}  // namespace umiddle::core::umtp

@@ -1,0 +1,113 @@
+// USDL — Universal Service Description Language (paper §3.4).
+//
+// An XML language that tells a *generic*, per-platform translator implementation
+// how to represent one native device type in the intermediary semantic space:
+// the shape (ports) to expose, and *bindings* that connect each port to native
+// operations. The paper's example: a USDL document for UPnP lights turns the
+// native SetPower action into two digital input ports, one passing "1" (on) and
+// one passing "0" (off).
+//
+// Binding `<native>` elements are interpreted by the owning platform mapper —
+// USDL itself stays platform-neutral, exactly as in the paper where mappers
+// "create a translator (and the shape) of a native device based on a USDL
+// definition for that device".
+//
+// Document grammar:
+//
+//   <usdl version="1">
+//     <service platform="upnp" match="urn:...:BinaryLight:1" name="UPnP Light">
+//       <hierarchy entities="2"/>                     <!-- optional -->
+//       <shape> <digital-port .../> <physical-port .../> </shape>
+//       <bindings>
+//         <binding port="power-on" kind="action" emit="...optional output port...">
+//           <native action="SetPower" service="SwitchPower">
+//             <arg name="Power" value="1"/>
+//           </native>
+//         </binding>
+//       </bindings>
+//     </service>
+//   </usdl>
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/shape.hpp"
+#include "xml/xml.hpp"
+
+namespace umiddle::core {
+
+/// A named argument of a native operation. `value` may be a literal or the
+/// placeholder "$body", replaced by the incoming message payload at runtime.
+struct UsdlArg {
+  std::string name;
+  std::string value;
+};
+
+/// The platform-specific half of a binding, passed through to the mapper.
+struct UsdlNative {
+  std::map<std::string, std::string> attrs;
+  std::vector<UsdlArg> args;
+
+  std::string attr(std::string_view name) const {
+    auto it = attrs.find(std::string(name));
+    return it == attrs.end() ? std::string() : it->second;
+  }
+};
+
+/// Connects one port of the shape to a native operation.
+struct UsdlBinding {
+  std::string port;           ///< port this binding serves
+  std::string kind;           ///< mapper-defined: "action", "event", "query", ...
+  std::string emit_port;      ///< optional output port for results/events
+  UsdlNative native;
+};
+
+/// One device type's description.
+struct UsdlService {
+  std::string platform;
+  std::string match;          ///< native type key the mapper discovers devices by
+  std::string name;
+  /// Extra intermediary entities besides the translator itself (the paper's
+  /// UPnP clock needs "two more uMiddle entities for the UPnP service/device
+  /// hierarchy", which dominate its Fig. 10 instantiation cost).
+  int hierarchy_entities = 0;
+  Shape shape;
+  std::vector<UsdlBinding> bindings;
+
+  /// All bindings attached to the given port name.
+  std::vector<const UsdlBinding*> bindings_for(std::string_view port) const;
+};
+
+struct UsdlDocument {
+  std::vector<UsdlService> services;
+};
+
+/// Parse a USDL document; validates that every binding references a declared
+/// port and that `emit` ports are outputs.
+Result<UsdlDocument> parse_usdl(std::string_view text);
+Result<UsdlDocument> parse_usdl(const xml::Element& root);
+
+/// Serialize back to XML (used by tooling and round-trip tests).
+xml::Element to_xml(const UsdlService& service);
+xml::Element to_xml(const UsdlDocument& doc);
+
+/// Keyed store of service descriptions; mappers look up by (platform, match).
+class UsdlLibrary {
+ public:
+  /// Register all services of a document. Later registrations override earlier
+  /// ones with the same (platform, match) key, enabling user customization.
+  void add(UsdlDocument doc);
+  Result<void> add_text(std::string_view text);
+
+  const UsdlService* find(std::string_view platform, std::string_view match) const;
+  std::vector<const UsdlService*> services_for(std::string_view platform) const;
+  std::size_t size() const { return services_.size(); }
+
+ private:
+  std::map<std::pair<std::string, std::string>, UsdlService> services_;
+};
+
+}  // namespace umiddle::core

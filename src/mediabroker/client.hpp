@@ -1,0 +1,62 @@
+// MediaBroker client: one connection multiplexing produce/consume/watch.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "mediabroker/server.hpp"
+
+namespace umiddle::mb {
+
+class MbClient {
+ public:
+  using DataFn = std::function<void(const std::string& stream, const Bytes& payload)>;
+  using AnnounceFn = std::function<void(const std::string& stream,
+                                        const std::string& media_type, bool alive)>;
+
+  MbClient(net::Network& net, std::string host, net::Endpoint server);
+  ~MbClient();
+  MbClient(const MbClient&) = delete;
+  MbClient& operator=(const MbClient&) = delete;
+
+  Result<void> connect();
+  void close();
+  bool connected() const { return connected_; }
+
+  /// Declare a producer for `stream`.
+  Result<void> produce(const std::string& stream, const std::string& media_type);
+  /// Publish one media frame (streaming: no per-frame acknowledgement).
+  Result<void> send(const std::string& stream, Bytes payload);
+  /// Subscribe; `on_data` fires per arriving frame.
+  Result<void> consume(const std::string& stream);
+  /// Withdraw a produced stream.
+  Result<void> retire(const std::string& stream);
+  /// Watch stream announcements (mapper discovery).
+  Result<void> watch();
+
+  void on_data(DataFn fn) { on_data_ = std::move(fn); }
+  void on_announce(AnnounceFn fn) { on_announce_ = std::move(fn); }
+  /// Fires when the connection's local send backlog drains to empty.
+  void on_drain(std::function<void()> fn);
+
+  std::uint64_t frames_received() const { return frames_received_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  /// Bytes accepted for transmission but not yet on the wire (send pacing).
+  std::size_t backlog() const;
+
+ private:
+  Result<void> send_frame(const Frame& frame);
+
+  net::Network& net_;
+  std::string host_;
+  net::Endpoint server_;
+  net::StreamPtr stream_;
+  Decoder decoder_;
+  bool connected_ = false;
+  DataFn on_data_;
+  AnnounceFn on_announce_;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace umiddle::mb

@@ -1,0 +1,167 @@
+#include "mediabroker/mapper.hpp"
+
+#include "common/log.hpp"
+
+namespace umiddle::mb {
+namespace {
+
+constexpr const char* kOctetUsdl = R"USDL(
+<usdl version="1">
+  <service platform="mb" match="mb:application/octet-stream" name="MediaBroker Stream">
+    <shape>
+      <digital-port name="media-out" direction="output" mime="application/octet-stream"/>
+      <digital-port name="media-in" direction="input" mime="application/octet-stream"/>
+    </shape>
+    <bindings>
+      <binding port="media-out" kind="mb-consume"><native/></binding>
+      <binding port="media-in" kind="mb-produce"><native/></binding>
+    </bindings>
+  </service>
+</usdl>)USDL";
+
+constexpr const char* kJpegUsdl = R"USDL(
+<usdl version="1">
+  <service platform="mb" match="mb:image/jpeg" name="MediaBroker Image Stream">
+    <shape>
+      <digital-port name="media-out" direction="output" mime="image/jpeg"/>
+      <digital-port name="media-in" direction="input" mime="image/jpeg"/>
+    </shape>
+    <bindings>
+      <binding port="media-out" kind="mb-consume"><native/></binding>
+      <binding port="media-in" kind="mb-produce"><native/></binding>
+    </bindings>
+  </service>
+</usdl>)USDL";
+
+/// Pause sends into the broker while this much is still queued locally.
+constexpr std::size_t kProduceBacklogLimit = 32 * 1024;
+
+}  // namespace
+
+// --- MbTranslator ------------------------------------------------------------------
+
+MbTranslator::MbTranslator(MbMapper& mapper, std::string stream, std::string media_type,
+                           const core::UsdlService& usdl)
+    : Translator("MB " + stream, "mb", "mb:" + media_type, usdl.shape),
+      mapper_(mapper), stream_(std::move(stream)), media_type_(std::move(media_type)),
+      usdl_(usdl) {
+  set_hierarchy_entities(usdl.hierarchy_entities);
+}
+
+MbTranslator::~MbTranslator() { *alive_ = false; }
+
+void MbTranslator::on_mapped() {
+  client_ = std::make_unique<MbClient>(mapper_.runtime().network(),
+                                       mapper_.runtime().host(), mapper_.server());
+  if (auto r = client_->connect(); !r.ok()) {
+    log::Entry(log::Level::warn, "mb") << "translator connect failed: "
+                                       << r.error().to_string();
+    client_ = nullptr;
+    return;
+  }
+  // Backpressure handshake with the transport: once our produce backlog
+  // drains, paths feeding media-in may resume.
+  client_->on_drain([this, alive = alive_]() {
+    if (*alive && mapped()) runtime()->notify_ready(profile().id);
+  });
+  for (const core::UsdlBinding& b : usdl_.bindings) {
+    if (b.kind == "mb-consume") {
+      (void)client_->consume(stream_);
+      std::string port = b.port;
+      client_->on_data([this, alive = alive_, port](const std::string&, const Bytes& data) {
+        if (!*alive || !mapped()) return;
+        const core::PortSpec* spec = profile().shape.find(port);
+        if (spec == nullptr) return;
+        core::Message msg;
+        msg.type = spec->type;
+        msg.payload = data;
+        (void)emit(port, std::move(msg));
+      });
+    }
+    if (b.kind == "mb-produce") {
+      (void)client_->produce(out_stream(), media_type_);
+    }
+  }
+}
+
+void MbTranslator::on_unmapped() {
+  *alive_ = false;
+  if (client_) {
+    (void)client_->retire(out_stream());
+    client_->close();
+  }
+  client_ = nullptr;
+}
+
+bool MbTranslator::ready(const std::string&) const {
+  return client_ != nullptr && client_->backlog() < kProduceBacklogLimit;
+}
+
+Result<void> MbTranslator::deliver(const std::string& port, const core::Message& msg) {
+  if (client_ == nullptr) return make_error(Errc::disconnected, "mb: no broker connection");
+  for (const core::UsdlBinding* b : usdl_.bindings_for(port)) {
+    if (b->kind != "mb-produce") continue;
+    return client_->send(out_stream(), msg.payload);
+  }
+  return make_error(Errc::unsupported, "no produce binding for port " + port);
+}
+
+// --- MbMapper ------------------------------------------------------------------------
+
+MbMapper::MbMapper(net::Endpoint server, const core::UsdlLibrary& library)
+    : Mapper("mb"), server_(std::move(server)), library_(library) {}
+
+MbMapper::~MbMapper() = default;
+
+void MbMapper::start(core::Runtime& runtime) {
+  runtime_ = &runtime;
+  watcher_ = std::make_unique<MbClient>(runtime.network(), runtime.host(), server_);
+  watcher_->on_announce([this](const std::string& stream, const std::string& type,
+                               bool alive) { handle_announce(stream, type, alive); });
+  if (auto r = watcher_->connect(); !r.ok()) {
+    log::Entry(log::Level::error, "mb") << "watcher connect failed: " << r.error().to_string();
+    return;
+  }
+  (void)watcher_->watch();
+}
+
+void MbMapper::stop() {
+  if (watcher_) watcher_->close();
+}
+
+void MbMapper::handle_announce(const std::string& stream, const std::string& media_type,
+                               bool alive) {
+  if (runtime_ == nullptr) return;
+  if (!alive) {
+    auto it = by_stream_.find(stream);
+    if (it != by_stream_.end()) {
+      (void)runtime_->unmap(it->second);
+      by_stream_.erase(it);
+    }
+    return;
+  }
+  if (by_stream_.count(stream) != 0) return;
+  if (stream.size() > 4 && stream.rfind("-out") == stream.size() - 4) return;  // our own
+  const core::UsdlService* usdl = library_.find("mb", "mb:" + media_type);
+  if (usdl == nullptr) {
+    log::Entry(log::Level::info, "mb") << "no USDL for media type " << media_type;
+    return;
+  }
+  auto translator = std::make_unique<MbTranslator>(*this, stream, media_type, *usdl);
+  std::string name = stream;
+  runtime_->instantiate(std::move(translator), [this, name](Result<TranslatorId> r) {
+    if (!r.ok()) {
+      log::Entry(log::Level::warn, "mb") << "instantiate failed: " << r.error().to_string();
+      return;
+    }
+    by_stream_[name] = r.value();
+  });
+}
+
+void register_mb_usdl(core::UsdlLibrary& library) {
+  for (const char* doc : {kOctetUsdl, kJpegUsdl}) {
+    if (auto r = library.add_text(doc); !r.ok()) std::abort();
+  }
+}
+
+}  // namespace umiddle::mb

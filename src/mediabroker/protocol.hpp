@@ -1,0 +1,57 @@
+// MediaBroker wire protocol.
+//
+// MediaBroker (Modahl et al., PerCom 2004 — the paper's [13]) is a distributed
+// media transformation infrastructure from Georgia Tech: producers publish
+// typed media streams through a broker, consumers subscribe, and the broker
+// can apply type transformations in-line. This reproduction implements the
+// slice the paper's §5.3 benchmark exercises: registration, streaming DATA
+// frames with light framing (MB is the *fast* leg of Fig. 11), and stream
+// announcements for the uMiddle mapper's discovery.
+//
+// Frames over a stream connection:
+//   u8 op, str16 stream-name, then op-specific fields:
+//     1 PRODUCE  (str16 media-type)         — declare a producer
+//     2 CONSUME  ()                         — subscribe
+//     3 DATA     (u32 len, payload)         — media frame
+//     4 WATCH    ()                         — subscribe to announcements
+//     5 ANNOUNCE (str16 media-type)         — new stream exists
+//     6 RETIRE   ()                         — stream gone
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace umiddle::mb {
+
+enum class Op : std::uint8_t {
+  produce = 1,
+  consume = 2,
+  data = 3,
+  watch = 4,
+  announce = 5,
+  retire = 6,
+};
+
+struct Frame {
+  Op op = Op::data;
+  std::string stream;
+  std::string media_type;  ///< produce/announce
+  Bytes payload;           ///< data
+
+  Bytes encode() const;
+};
+
+/// Incremental frame decoder.
+class Decoder {
+ public:
+  Result<void> feed(std::span<const std::uint8_t> chunk, std::vector<Frame>& out);
+
+ private:
+  Bytes buffer_;
+};
+
+}  // namespace umiddle::mb

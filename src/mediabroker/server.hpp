@@ -1,0 +1,65 @@
+// The MediaBroker server: stream registry, fan-out, and in-line media
+// transformation.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "mediabroker/protocol.hpp"
+#include "netsim/stream.hpp"
+
+namespace umiddle::mb {
+
+constexpr std::uint16_t kMbPort = 5060;
+
+class MbServer {
+ public:
+  /// Optional per-stream transformation applied to every DATA frame.
+  using Transform = std::function<Bytes(const Bytes&)>;
+
+  MbServer(net::Network& net, std::string host, std::uint16_t port = kMbPort);
+  ~MbServer();
+  MbServer(const MbServer&) = delete;
+  MbServer& operator=(const MbServer&) = delete;
+
+  Result<void> start();
+  void stop();
+
+  /// Install a transformation for a stream (MediaBroker's signature feature).
+  void set_transform(const std::string& stream, Transform transform);
+
+  std::size_t stream_count() const { return streams_.size(); }
+  std::uint64_t frames_forwarded() const { return frames_forwarded_; }
+  /// Frames not forwarded because a consumer's connection was backed up
+  /// (media brokers shed load on slow consumers rather than buffer forever).
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  net::Endpoint endpoint() const { return {host_, port_}; }
+
+  /// Per-consumer backlog beyond which DATA frames are shed.
+  static constexpr std::size_t kConsumerBacklogLimit = 256 * 1024;
+
+ private:
+  struct StreamInfo {
+    std::string media_type;
+    std::vector<net::Stream*> consumers;
+    Transform transform;
+  };
+
+  void serve(net::StreamPtr stream);
+  void handle(net::Stream* conn, Frame frame);
+  void drop_connection(net::Stream* conn);
+  void broadcast_watchers(const Frame& frame);
+
+  net::Network& net_;
+  std::string host_;
+  std::uint16_t port_;
+  bool started_ = false;
+  std::map<std::string, StreamInfo> streams_;
+  std::vector<net::Stream*> watchers_;
+  std::map<net::Stream*, net::StreamPtr> connections_;
+  std::uint64_t frames_forwarded_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace umiddle::mb

@@ -1,0 +1,160 @@
+#include "motes/mapper.hpp"
+
+#include "common/log.hpp"
+#include "xml/xml.hpp"
+
+namespace umiddle::motes {
+namespace {
+
+constexpr const char* kMoteUsdl = R"USDL(
+<usdl version="1">
+  <service platform="motes" match="mote:light" name="Light Sensor Mote">
+    <shape>
+      <digital-port name="reading-out" direction="output" mime="application/x-sensor+xml"/>
+      <physical-port name="sensor" direction="input" tag="visible/light"/>
+    </shape>
+    <bindings>
+      <binding port="reading-out" kind="am-telemetry"><native/></binding>
+    </bindings>
+  </service>
+  <service platform="motes" match="mote:temperature" name="Temperature Sensor Mote">
+    <shape>
+      <digital-port name="reading-out" direction="output" mime="application/x-sensor+xml"/>
+      <physical-port name="sensor" direction="input" tag="tangible/air"/>
+    </shape>
+    <bindings>
+      <binding port="reading-out" kind="am-telemetry"><native/></binding>
+    </bindings>
+  </service>
+  <service platform="motes" match="mote:humidity" name="Humidity Sensor Mote">
+    <shape>
+      <digital-port name="reading-out" direction="output" mime="application/x-sensor+xml"/>
+      <physical-port name="sensor" direction="input" tag="tangible/air"/>
+    </shape>
+    <bindings>
+      <binding port="reading-out" kind="am-telemetry"><native/></binding>
+    </bindings>
+  </service>
+</usdl>)USDL";
+
+}  // namespace
+
+// --- MoteTranslator ---------------------------------------------------------------
+
+MoteTranslator::MoteTranslator(std::uint16_t mote_id, SensorKind kind,
+                               const core::UsdlService& usdl)
+    : Translator("Mote " + std::to_string(mote_id) + " (" + to_string(kind) + ")",
+                 "motes", "mote:" + std::string(to_string(kind)), usdl.shape),
+      mote_id_(mote_id), kind_(kind), usdl_(usdl) {}
+
+Result<void> MoteTranslator::deliver(const std::string& port, const core::Message&) {
+  return make_error(Errc::unsupported, "motes are telemetry-only: " + port);
+}
+
+void MoteTranslator::handle_reading(const Reading& reading) {
+  for (const core::UsdlBinding& b : usdl_.bindings) {
+    if (b.kind != "am-telemetry") continue;
+    const core::PortSpec* spec = profile().shape.find(b.port);
+    if (spec == nullptr || !mapped()) continue;
+    xml::Element doc("reading");
+    doc.set_attr("mote", std::to_string(reading.mote_id));
+    doc.set_attr("sensor", to_string(reading.kind));
+    doc.set_attr("value", std::to_string(reading.value));
+    doc.set_attr("seq", std::to_string(reading.sequence));
+    ++readings_emitted_;
+    (void)emit(b.port, core::Message::text(spec->type, doc.to_string()));
+  }
+}
+
+// --- MoteMapper --------------------------------------------------------------------
+
+MoteMapper::MoteMapper(MoteField& field, const core::UsdlLibrary& library,
+                       sim::Duration silence_timeout)
+    : Mapper("motes"), field_(field), library_(library), silence_timeout_(silence_timeout) {}
+
+MoteMapper::~MoteMapper() { *alive_ = false; }
+
+void MoteMapper::start(core::Runtime& runtime) {
+  runtime_ = &runtime;
+  stopped_ = false;
+  if (auto r = field_.attach_gateway(runtime.host()); !r.ok()) {
+    log::Entry(log::Level::error, "motes") << "gateway attach failed: "
+                                           << r.error().to_string();
+    return;
+  }
+  auto bind = runtime.network().udp_bind(
+      {runtime.host(), kAmPort},
+      [this](const net::Endpoint&, const Bytes& payload) { handle_packet(payload); });
+  if (!bind.ok()) {
+    log::Entry(log::Level::error, "motes") << "AM bind failed: " << bind.error().to_string();
+    return;
+  }
+  sweep();
+}
+
+void MoteMapper::stop() {
+  stopped_ = true;
+  if (runtime_ != nullptr) {
+    runtime_->network().udp_close({runtime_->host(), kAmPort});
+  }
+}
+
+void MoteMapper::handle_packet(const Bytes& payload) {
+  if (stopped_ || runtime_ == nullptr) return;
+  auto reading = Reading::decode(payload);
+  if (!reading.ok()) return;  // radio noise
+  const Reading& r = reading.value();
+
+  auto it = by_mote_.find(r.mote_id);
+  if (it != by_mote_.end()) {
+    it->second.last_heard = runtime_->scheduler().now();
+    if (!it->second.pending) {
+      if (auto* t = dynamic_cast<MoteTranslator*>(runtime_->translator(it->second.id))) {
+        t->handle_reading(r);
+      }
+    }
+    return;
+  }
+
+  const core::UsdlService* usdl =
+      library_.find("motes", "mote:" + std::string(to_string(r.kind)));
+  if (usdl == nullptr) return;
+  Entry entry;
+  entry.pending = true;
+  entry.last_heard = runtime_->scheduler().now();
+  by_mote_[r.mote_id] = entry;
+  auto translator = std::make_unique<MoteTranslator>(r.mote_id, r.kind, *usdl);
+  std::uint16_t mote_id = r.mote_id;
+  runtime_->instantiate(std::move(translator), [this, mote_id](Result<TranslatorId> res) {
+    auto entry_it = by_mote_.find(mote_id);
+    if (entry_it == by_mote_.end()) return;
+    if (!res.ok()) {
+      by_mote_.erase(entry_it);
+      return;
+    }
+    entry_it->second.id = res.value();
+    entry_it->second.pending = false;
+  });
+}
+
+void MoteMapper::sweep() {
+  if (stopped_ || runtime_ == nullptr) return;
+  sim::TimePoint now = runtime_->scheduler().now();
+  for (auto it = by_mote_.begin(); it != by_mote_.end();) {
+    if (!it->second.pending && now - it->second.last_heard > silence_timeout_) {
+      (void)runtime_->unmap(it->second.id);
+      it = by_mote_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  runtime_->scheduler().schedule_after(silence_timeout_ / 2, [this, alive = alive_]() {
+    if (*alive) sweep();
+  });
+}
+
+void register_motes_usdl(core::UsdlLibrary& library) {
+  if (auto r = library.add_text(kMoteUsdl); !r.ok()) std::abort();
+}
+
+}  // namespace umiddle::motes

@@ -1,0 +1,75 @@
+// The Berkeley Motes mapper: listens on the sensor-net radio and imports each
+// mote as a translator with one telemetry output port.
+//
+// USDL binding kind understood by this mapper:
+//   kind="am-telemetry" — Active-Message readings from the mote are emitted
+//       from the binding's (output) port as small XML documents:
+//       <reading mote="3" sensor="light" value="117" seq="42"/>
+//
+// A mote that stays silent for `silence_timeout` is considered gone (motes die
+// and never say goodbye) and its translator is unmapped.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/umiddle.hpp"
+#include "motes/motes.hpp"
+
+namespace umiddle::motes {
+
+class MoteMapper;
+
+class MoteTranslator final : public core::Translator {
+ public:
+  MoteTranslator(std::uint16_t mote_id, SensorKind kind, const core::UsdlService& usdl);
+
+  Result<void> deliver(const std::string& port, const core::Message& msg) override;
+
+  /// Called by the mapper when a reading from this mote arrives.
+  void handle_reading(const Reading& reading);
+
+  std::uint16_t mote_id() const { return mote_id_; }
+  std::uint64_t readings_emitted() const { return readings_emitted_; }
+
+ private:
+  std::uint16_t mote_id_;
+  SensorKind kind_;
+  const core::UsdlService& usdl_;
+  std::uint64_t readings_emitted_ = 0;
+};
+
+class MoteMapper final : public core::Mapper {
+ public:
+  MoteMapper(MoteField& field, const core::UsdlLibrary& library,
+             sim::Duration silence_timeout = sim::seconds(10));
+  ~MoteMapper() override;
+
+  void start(core::Runtime& runtime) override;
+  void stop() override;
+
+  std::size_t mapped_count() const { return by_mote_.size(); }
+
+ private:
+  struct Entry {
+    TranslatorId id;
+    sim::TimePoint last_heard{};
+    bool pending = false;
+  };
+
+  void handle_packet(const Bytes& payload);
+  void sweep();
+
+  MoteField& field_;
+  const core::UsdlLibrary& library_;
+  sim::Duration silence_timeout_;
+  core::Runtime* runtime_ = nullptr;
+  std::map<std::uint16_t, Entry> by_mote_;
+  bool stopped_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+/// Register the built-in USDL documents for mote sensor kinds.
+void register_motes_usdl(core::UsdlLibrary& library);
+
+}  // namespace umiddle::motes

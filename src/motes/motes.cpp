@@ -1,0 +1,115 @@
+#include "motes/motes.hpp"
+
+#include "common/log.hpp"
+
+namespace umiddle::motes {
+
+const char* to_string(SensorKind kind) {
+  switch (kind) {
+    case SensorKind::light: return "light";
+    case SensorKind::temperature: return "temperature";
+    case SensorKind::humidity: return "humidity";
+  }
+  return "unknown";
+}
+
+Bytes Reading::encode() const {
+  ByteWriter w;
+  w.u16(kAmTelemetry);
+  w.u16(mote_id);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u16(value);
+  w.u16(sequence);
+  return w.take();
+}
+
+Result<Reading> Reading::decode(std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  auto am = r.u16();
+  if (!am.ok()) return am.error();
+  if (am.value() != kAmTelemetry) {
+    return make_error(Errc::protocol_error, "motes: unknown AM type");
+  }
+  Reading reading;
+  auto id = r.u16();
+  if (!id.ok()) return id.error();
+  reading.mote_id = id.value();
+  auto kind = r.u8();
+  if (!kind.ok()) return kind.error();
+  if (kind.value() < 1 || kind.value() > 3) {
+    return make_error(Errc::protocol_error, "motes: bad sensor kind");
+  }
+  reading.kind = static_cast<SensorKind>(kind.value());
+  auto value = r.u16();
+  if (!value.ok()) return value.error();
+  reading.value = value.value();
+  auto seq = r.u16();
+  if (!seq.ok()) return seq.error();
+  reading.sequence = seq.value();
+  return reading;
+}
+
+MoteField::MoteField(net::Network& net, double loss) : net_(net) {
+  net::SegmentSpec spec;
+  spec.name = "mote-radio";
+  spec.bandwidth_bps = 250e3;  // 802.15.4-class rate
+  spec.latency = sim::milliseconds(3);
+  spec.shared_medium = true;
+  spec.contention_overhead = 0.1;
+  spec.frame_overhead = 11;  // AM + CC2420-style framing
+  spec.preamble = 6;
+  spec.mtu_payload = 28;
+  spec.loss = loss;
+  segment_ = net_.add_segment(spec);
+}
+
+Result<void> MoteField::attach_gateway(const std::string& host) {
+  if (auto r = net_.attach(host, segment_); !r.ok()) return r;
+  return net_.join_group(host, kAmGroup);
+}
+
+Mote::Mote(MoteField& field, std::uint16_t id, SensorKind kind, sim::Duration period)
+    : field_(field), id_(id), kind_(kind), period_(period),
+      host_("mote-" + std::to_string(id)) {}
+
+Mote::~Mote() {
+  stop();
+  *alive_ = false;
+}
+
+Result<void> Mote::start() {
+  if (running_) return ok_result();
+  if (!field_.network().host_exists(host_)) {
+    if (auto r = field_.network().add_host(host_); !r.ok()) return r;
+    if (auto r = field_.network().attach(host_, field_.segment()); !r.ok()) return r;
+  }
+  running_ = true;
+  tick();
+  return ok_result();
+}
+
+void Mote::stop() { running_ = false; }
+
+std::uint16_t Mote::sample(std::uint16_t sequence) const {
+  // Triangle wave in [base, base+64), keyed by mote id.
+  std::uint16_t base = static_cast<std::uint16_t>(100 + (id_ % 16) * 25);
+  std::uint16_t phase = static_cast<std::uint16_t>(sequence % 128);
+  std::uint16_t wave = phase < 64 ? phase : static_cast<std::uint16_t>(127 - phase);
+  return static_cast<std::uint16_t>(base + wave);
+}
+
+void Mote::tick() {
+  if (!running_) return;
+  Reading reading{id_, kind_, sample(sequence_), sequence_};
+  ++sequence_;
+  auto r = field_.network().udp_multicast({host_, kAmPort}, kAmGroup, kAmPort,
+                                          reading.encode());
+  if (!r.ok()) {
+    log::Entry(log::Level::warn, "motes") << "broadcast failed: " << r.error().to_string();
+  }
+  field_.network().scheduler().schedule_after(period_, [this, alive = alive_]() {
+    if (*alive) tick();
+  });
+}
+
+}  // namespace umiddle::motes

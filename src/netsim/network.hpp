@@ -1,0 +1,179 @@
+// Deterministic network simulator.
+//
+// Substitutes for the paper's physical testbed (three ThinkPads on a 10 Mbps
+// Ethernet hub, Bluetooth dongles, mote radios). Hosts attach to *segments* —
+// physical media with bandwidth, propagation latency, framing overhead, an optional
+// shared-medium (half-duplex hub) constraint, and probabilistic loss. On top of
+// frames the simulator offers:
+//
+//   * datagrams (UDP-like, with multicast groups)  — SSDP, directory advertisements
+//   * streams   (TCP-like, connection oriented)    — HTTP/SOAP, RMI, MB, UMTP
+//
+// Two hosts can exchange traffic only if they share a segment; bridging across
+// segments is exactly what uMiddle itself provides at the application layer — this
+// mirrors the paper's "different physical transports" argument (§2.2.4).
+//
+// All timing is virtual (sim::Scheduler), so benchmark results are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/rand.hpp"
+#include "common/result.hpp"
+#include "sim/scheduler.hpp"
+
+namespace umiddle::net {
+
+struct SegmentTag {};
+using SegmentId = Id<SegmentTag>;
+
+/// host:port address of a socket.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint& a, const Endpoint& b) {
+    return a.port == b.port && a.host == b.host;
+  }
+  friend bool operator<(const Endpoint& a, const Endpoint& b) {
+    return a.host != b.host ? a.host < b.host : a.port < b.port;
+  }
+  std::string to_string() const { return host + ":" + std::to_string(port); }
+};
+
+/// Physical-medium parameters of a segment.
+struct SegmentSpec {
+  std::string name = "segment";
+  /// Raw signalling rate in bits per second.
+  double bandwidth_bps = 10e6;
+  /// One-way propagation + forwarding latency.
+  sim::Duration latency = sim::microseconds(100);
+  /// Half-duplex shared medium (hub, radio): one transmission at a time.
+  bool shared_medium = true;
+  /// Extra fraction of a frame's serialization time charged when the medium
+  /// was busy at enqueue; approximates CSMA/CD (or radio) contention backoff.
+  double contention_overhead = 0.0;
+  /// Link+network+transport header bytes added to every frame's wire size.
+  std::size_t frame_overhead = 58;
+  /// Preamble / inter-frame gap, in byte-times per frame.
+  std::size_t preamble = 20;
+  /// Largest payload carried by one frame (streams segment to this).
+  std::size_t mtu_payload = 1460;
+  /// Probability that a frame is dropped (datagrams only; streams re-send).
+  double loss = 0.0;
+};
+
+/// Cumulative traffic counters for one segment.
+struct SegmentStats {
+  std::uint64_t frames = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t wire_bytes = 0;  ///< payload + overhead + preamble
+  std::uint64_t dropped = 0;
+  sim::Duration busy_time{0};
+};
+
+class Stream;
+using StreamPtr = std::shared_ptr<Stream>;
+
+using DatagramHandler = std::function<void(const Endpoint& from, const Bytes& payload)>;
+using AcceptHandler = std::function<void(StreamPtr stream)>;
+
+/// The simulated internetwork: segments, hosts, sockets, streams.
+class Network {
+ public:
+  explicit Network(sim::Scheduler& sched, std::uint64_t seed = 1);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  ~Network();
+
+  sim::Scheduler& scheduler() { return sched_; }
+
+  SegmentId add_segment(SegmentSpec spec);
+  /// Create a host (no segments attached yet). Names must be unique.
+  Result<void> add_host(const std::string& name);
+  /// Attach an existing host to a segment.
+  Result<void> attach(const std::string& host, SegmentId segment);
+  bool host_exists(const std::string& name) const { return hosts_.count(name) != 0; }
+
+  const SegmentStats& stats(SegmentId segment) const;
+  const SegmentSpec& spec(SegmentId segment) const;
+
+  // --- datagram service -----------------------------------------------------
+  /// Bind a datagram handler; fails if the endpoint is taken.
+  Result<void> udp_bind(const Endpoint& local, DatagramHandler handler);
+  void udp_close(const Endpoint& local);
+  /// Unicast; fails if src/dst share no segment.
+  Result<void> udp_send(const Endpoint& from, const Endpoint& to, Bytes payload);
+  /// Join a multicast group on every segment the host is attached to.
+  Result<void> join_group(const std::string& host, const std::string& group);
+  void leave_group(const std::string& host, const std::string& group);
+  /// Multicast to every group member sharing a segment with the sender
+  /// (including the sender itself if joined and bound — SSDP relies on loopback).
+  Result<void> udp_multicast(const Endpoint& from, const std::string& group,
+                             std::uint16_t port, Bytes payload);
+
+  // --- stream service ---------------------------------------------------------
+  Result<void> listen(const Endpoint& local, AcceptHandler handler);
+  void stop_listening(const Endpoint& local);
+  /// Open a connection. The returned stream is not yet connected; set handlers
+  /// then wait for on_connected. Fails fast if no shared segment or no listener.
+  Result<StreamPtr> connect(const std::string& host, const Endpoint& remote);
+
+ private:
+  friend class Stream;
+
+  struct Segment {
+    SegmentSpec spec;
+    SegmentStats stats;
+    sim::TimePoint medium_busy_until{0};
+    std::set<std::string> hosts;
+  };
+
+  struct Host {
+    std::set<SegmentId> segments;
+    std::set<std::string> groups;
+    /// Per-segment NIC availability (full-duplex media serialize per sender).
+    std::map<SegmentId, sim::TimePoint> nic_busy_until;
+  };
+
+  /// Schedule delivery of `payload_size` bytes from `src` on `seg`;
+  /// `deliver` runs at the arrival time unless the frame is lost.
+  /// Returns the arrival time (even if lost, for stats purposes).
+  sim::TimePoint send_frame(SegmentId seg, const std::string& src, std::size_t payload_size,
+                            std::function<void()> deliver, bool lossless);
+
+  /// First segment shared by both hosts, or invalid id.
+  SegmentId common_segment(const std::string& a, const std::string& b) const;
+
+  Result<void> check_host(const std::string& name) const;
+
+  std::uint16_t allocate_ephemeral_port(const std::string& host);
+  void register_stream(StreamPtr s);
+  void forget_stream(StreamId id);
+  Stream* stream(StreamId id);
+
+  sim::Scheduler& sched_;
+  Rng rng_;
+  std::map<SegmentId, Segment> segments_;
+  std::unordered_map<std::string, Host> hosts_;
+  std::map<Endpoint, DatagramHandler> udp_sockets_;
+  std::map<Endpoint, AcceptHandler> listeners_;
+  std::unordered_map<StreamId, StreamPtr> streams_;
+  IdGenerator<SegmentId> segment_ids_;
+  IdGenerator<StreamId> stream_ids_;
+  SegmentId loopback_;
+  std::uint16_t next_ephemeral_ = 49152;
+};
+
+}  // namespace umiddle::net

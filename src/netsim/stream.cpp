@@ -1,0 +1,149 @@
+#include "netsim/stream.hpp"
+
+#include <algorithm>
+
+namespace umiddle::net {
+
+Stream::Stream(Private, Network& net, StreamId id, Endpoint local, Endpoint remote,
+               SegmentId segment)
+    : net_(net), id_(id), local_(std::move(local)), remote_(std::move(remote)),
+      segment_(segment) {}
+
+void Stream::establish() {
+  if (state_ != State::connecting) return;
+  state_ = State::established;
+  if (on_connected_) on_connected_();
+  if (!send_queue_.empty()) pump();
+}
+
+Result<void> Stream::send(Bytes payload) {
+  if (state_ == State::closing || state_ == State::closed) {
+    return make_error(Errc::disconnected, "stream closed");
+  }
+  send_queue_.insert(send_queue_.end(), payload.begin(), payload.end());
+  if (state_ == State::established) pump();
+  return ok_result();
+}
+
+Result<void> Stream::send(std::string_view payload) {
+  return send(Bytes(payload.begin(), payload.end()));
+}
+
+void Stream::pump() {
+  if (pumping_ || send_queue_.empty()) {
+    if (send_queue_.empty() && close_after_drain_ && state_ != State::closed) finish_close();
+    return;
+  }
+  pumping_ = true;
+
+  const std::size_t mss = net_.spec(segment_).mtu_payload;
+  const std::size_t chunk_size = std::min(send_queue_.size(), mss);
+  Bytes chunk(send_queue_.begin(),
+              send_queue_.begin() + static_cast<std::ptrdiff_t>(chunk_size));
+  send_queue_.erase(send_queue_.begin(),
+                    send_queue_.begin() + static_cast<std::ptrdiff_t>(chunk_size));
+  bytes_sent_ += chunk_size;
+
+  auto self = shared_from_this();
+  auto shared_chunk = std::make_shared<Bytes>(std::move(chunk));
+  StreamId peer = peer_;
+  sim::TimePoint arrival = net_.send_frame(
+      segment_, local_.host, chunk_size,
+      [this, self, peer, shared_chunk]() {
+        if (Stream* p = net_.stream(peer); p != nullptr) p->deliver(std::move(*shared_chunk));
+      },
+      /*lossless=*/true);
+
+  // The next frame may start only once this one has finished transmitting —
+  // this is the NIC-level backpressure that keeps pending() an honest measure
+  // of the local send backlog (and keeps the event heap bounded).
+  sim::TimePoint tx_end = arrival - net_.spec(segment_).latency;
+  net_.scheduler().schedule_at(tx_end, [this, self]() {
+    pumping_ = false;
+    if (send_queue_.empty() && on_drain_ && state_ == State::established) on_drain_();
+    pump();
+  });
+}
+
+void Stream::deliver(Bytes chunk) {
+  if (state_ == State::closed) return;
+  bytes_received_ += chunk.size();
+  // Delayed ACK: every second data segment, the receiver transmits a
+  // payload-free acknowledgement frame. On a half-duplex medium this contends
+  // with the sender's data — the effect that pulls real TCP on a 10 Mbps hub
+  // down to the high-7 Mbps range (the paper's baseline).
+  if (++segments_received_ % 2 == 0) {
+    net_.send_frame(segment_, local_.host, 0, []() {}, /*lossless=*/true);
+  }
+  if (on_data_) on_data_(chunk);
+}
+
+void Stream::close() {
+  if (state_ == State::closed || close_after_drain_) return;
+  close_after_drain_ = true;
+  if (state_ == State::connecting) {
+    // Never established: drop immediately.
+    finish_close();
+    return;
+  }
+  state_ = State::closing;
+  if (send_queue_.empty() && !pumping_) finish_close();
+}
+
+void Stream::finish_close() {
+  if (state_ == State::closed) return;
+  state_ = State::closed;
+  fire_close_handlers();  // local close: handlers (e.g. link accounting) run once
+  auto self = shared_from_this();
+  StreamId peer = peer_;
+  // The FIN travels as a (payload-free) frame so it serializes on the medium
+  // behind any data frames still in flight and never overtakes them.
+  net_.send_frame(
+      segment_, local_.host, 0,
+      [this, self, peer]() {
+        if (Stream* p = net_.stream(peer); p != nullptr) p->peer_closed();
+        net_.forget_stream(id_);
+      },
+      /*lossless=*/true);
+  release_handlers_soon();
+}
+
+void Stream::peer_closed() {
+  if (state_ == State::closed) return;
+  state_ = State::closed;
+  fire_close_handlers();
+  auto self = shared_from_this();
+  net_.scheduler().post([this, self]() { net_.forget_stream(id_); });
+  release_handlers_soon();
+}
+
+void Stream::fire_close_handlers() {
+  if (close_handlers_fired_) return;
+  close_handlers_fired_ = true;
+  for (const VoidHandler& handler : on_close_) {
+    if (handler) handler();
+  }
+}
+
+void Stream::drop_handlers() {
+  on_connected_ = nullptr;
+  on_data_ = nullptr;
+  on_drain_ = nullptr;
+  on_close_.clear();
+}
+
+void Stream::release_handlers_soon() {
+  // Handlers routinely capture the stream's own shared_ptr as a keep-alive;
+  // once closed they can never fire again, so drop them to break the cycle.
+  // Deferred via the scheduler because one of them may be on the call stack
+  // right now (destroying an executing std::function is UB).
+  auto self = shared_from_this();
+  net_.scheduler().post([self]() {
+    self->on_connected_ = nullptr;
+    self->on_data_ = nullptr;
+    self->on_drain_ = nullptr;
+    self->on_close_.clear();
+  });
+}
+
+}  // namespace umiddle::net

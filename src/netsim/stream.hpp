@@ -1,0 +1,95 @@
+// TCP-like reliable byte stream over a simulated segment.
+//
+// Model (documented simplifications, see DESIGN.md §4):
+//   * connection setup costs 1.5 RTT (SYN, SYN-ACK, ACK) before on_connected fires;
+//   * sent bytes are cut into MTU-payload-sized frames, each charged full framing
+//     overhead plus medium serialization; delivery is in-order and lossless
+//     (retransmission is abstracted as the segment treating stream frames as
+//     lossless — throughput effects of loss are out of the paper's scope);
+//   * there is no congestion/flow window: LAN-scale paths are serialization-bound,
+//     and the RTT-boundness the paper observes for RMI comes from the RMI
+//     protocol's synchronous call structure, which we do model.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "netsim/network.hpp"
+
+namespace umiddle::net {
+
+class Stream : public std::enable_shared_from_this<Stream> {
+ public:
+  using DataHandler = std::function<void(std::span<const std::uint8_t>)>;
+  using VoidHandler = std::function<void()>;
+
+  /// Streams are created by Network::connect / the accept path only.
+  struct Private {};
+  Stream(Private, Network& net, StreamId id, Endpoint local, Endpoint remote, SegmentId segment);
+
+  StreamId id() const { return id_; }
+  const Endpoint& local() const { return local_; }
+  const Endpoint& remote() const { return remote_; }
+  bool connected() const { return state_ == State::established; }
+  bool closed() const { return state_ == State::closed; }
+
+  void on_connected(VoidHandler h) { on_connected_ = std::move(h); }
+  void on_data(DataHandler h) { on_data_ = std::move(h); }
+  /// Close handlers accumulate: each registered handler fires once when the
+  /// peer closes (protocol layers and link accounting can both observe it).
+  void on_close(VoidHandler h) { on_close_.push_back(std::move(h)); }
+  /// Invoked whenever the send queue drains to empty (all bytes handed to the
+  /// medium). Lets callers pace writes instead of buffering unboundedly.
+  void on_drain(VoidHandler h) { on_drain_ = std::move(h); }
+
+  /// Bytes accepted by send() but not yet serialized onto the medium.
+  std::size_t pending() const { return send_queue_.size(); }
+
+  /// Immediately release all handlers (teardown only — must not be called
+  /// from within a handler).
+  void drop_handlers();
+
+  /// Queue bytes for transmission. Fails once closing/closed.
+  Result<void> send(Bytes payload);
+  Result<void> send(std::string_view payload);
+
+  /// Flush pending bytes then close both directions; peer sees on_close.
+  void close();
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  friend class Network;
+  enum class State { connecting, established, closing, closed };
+
+  void set_peer(StreamId peer) { peer_ = peer; }
+  void establish();
+  void pump();  ///< drain send queue into frames
+  void deliver(Bytes chunk);
+  void peer_closed();
+  void finish_close();
+  void fire_close_handlers();
+  void release_handlers_soon();
+
+  Network& net_;
+  StreamId id_;
+  StreamId peer_;
+  Endpoint local_;
+  Endpoint remote_;
+  SegmentId segment_;
+  State state_ = State::connecting;
+  std::deque<std::uint8_t> send_queue_;
+  bool pumping_ = false;
+  bool close_after_drain_ = false;
+  bool close_handlers_fired_ = false;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t segments_received_ = 0;
+  VoidHandler on_connected_;
+  DataHandler on_data_;
+  std::vector<VoidHandler> on_close_;
+  VoidHandler on_drain_;
+};
+
+}  // namespace umiddle::net

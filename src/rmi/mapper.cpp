@@ -1,0 +1,200 @@
+#include "rmi/mapper.hpp"
+
+#include "common/log.hpp"
+
+namespace umiddle::rmi {
+namespace {
+
+constexpr const char* kEchoUsdl = R"USDL(
+<usdl version="1">
+  <service platform="rmi" match="rmi:echo" name="Java RMI Service">
+    <shape>
+      <digital-port name="data-in" direction="input" mime="*/*"
+                    description="delivered to the service as a synchronous RMI call"/>
+      <digital-port name="data-out" direction="output" mime="application/octet-stream"
+                    description="pushed by the service through the uMiddle gateway"/>
+    </shape>
+    <bindings>
+      <binding port="data-in" kind="call">
+        <native method="deliver"/>
+      </binding>
+      <binding port="data-out" kind="gateway">
+        <native method="send"/>
+      </binding>
+    </bindings>
+  </service>
+</usdl>)USDL";
+
+}  // namespace
+
+// --- RmiTranslator ---------------------------------------------------------------------
+
+RmiTranslator::RmiTranslator(RmiMapper& mapper, Binding binding,
+                             const core::UsdlService& usdl)
+    : Translator(binding.name + " (RMI)", "rmi", binding.type, usdl.shape),
+      mapper_(mapper), binding_(std::move(binding)), usdl_(usdl) {
+  set_hierarchy_entities(usdl.hierarchy_entities);
+}
+
+RmiTranslator::~RmiTranslator() { *alive_ = false; }
+
+void RmiTranslator::on_mapped() {
+  // Persistent connection to the native service (real RMI stubs cache these).
+  auto stream = mapper_.network().connect(mapper_.runtime().host(),
+                                          {binding_.host, binding_.port});
+  if (!stream.ok()) {
+    log::Entry(log::Level::warn, "rmi")
+        << "cannot reach service " << binding_.name << ": " << stream.error().to_string();
+    return;
+  }
+  connection_ = std::make_shared<RmiConnection>(stream.value());
+
+  // Export + advertise the gateway for every gateway binding.
+  for (const core::UsdlBinding& b : usdl_.bindings) {
+    if (b.kind != "gateway") continue;
+    mapper_.export_gateway(*this, b.native.attr("method"));
+    mapper_.bind_gateway_in_registry(binding_.name);
+  }
+}
+
+void RmiTranslator::on_unmapped() {
+  *alive_ = false;
+  mapper_.gateway_server().remove_object("umiddle-gw-" + binding_.name);
+  if (connection_) connection_->close();
+  connection_ = nullptr;
+}
+
+bool RmiTranslator::ready(const std::string&) const {
+  return connection_ != nullptr && connection_->idle();
+}
+
+Result<void> RmiTranslator::deliver(const std::string& port, const core::Message& msg) {
+  if (connection_ == nullptr) {
+    return make_error(Errc::disconnected, "rmi: no connection to " + binding_.name);
+  }
+  for (const core::UsdlBinding* b : usdl_.bindings_for(port)) {
+    if (b->kind != "call") continue;
+    Call call{binding_.name, b->native.attr("method"), msg.payload};
+    connection_->call(std::move(call), [this, alive = alive_](Result<Return> r) {
+      if (!*alive) return;
+      if (!r.ok()) {
+        log::Entry(log::Level::warn, "rmi") << "call failed: " << r.error().to_string();
+      } else if (r.value().exception) {
+        log::Entry(log::Level::warn, "rmi")
+            << "remote exception: " << umiddle::to_string(r.value().value);
+      }
+      if (mapped()) runtime()->notify_ready(profile().id);
+    });
+    return ok_result();
+  }
+  return make_error(Errc::unsupported, "no call binding for port " + port);
+}
+
+void RmiTranslator::gateway_receive(const std::string& method, const Bytes& data) {
+  for (const core::UsdlBinding& b : usdl_.bindings) {
+    if (b.kind != "gateway" || b.native.attr("method") != method) continue;
+    const core::PortSpec* spec = profile().shape.find(b.port);
+    if (spec == nullptr || !mapped()) continue;
+    core::Message msg;
+    msg.type = spec->type;
+    msg.payload = data;
+    (void)emit(b.port, std::move(msg));
+  }
+}
+
+// --- RmiMapper --------------------------------------------------------------------------
+
+RmiMapper::RmiMapper(net::Endpoint registry, const core::UsdlLibrary& library,
+                     std::uint16_t gateway_port, sim::Duration poll_interval)
+    : Mapper("rmi"), registry_(std::move(registry)), library_(library),
+      gateway_port_(gateway_port), poll_interval_(poll_interval) {}
+
+RmiMapper::~RmiMapper() = default;
+
+void RmiMapper::start(core::Runtime& runtime) {
+  runtime_ = &runtime;
+  stopped_ = false;
+  gateway_ = std::make_unique<RmiObjectServer>(runtime.network(), runtime.host(),
+                                               gateway_port_);
+  if (auto r = gateway_->start(); !r.ok()) {
+    log::Entry(log::Level::error, "rmi") << "gateway start failed: " << r.error().to_string();
+    return;
+  }
+  registry_client_ =
+      std::make_unique<RegistryClient>(runtime.network(), runtime.host(), registry_);
+  poll();
+}
+
+void RmiMapper::stop() {
+  stopped_ = true;
+  if (gateway_) gateway_->stop();
+}
+
+void RmiMapper::poll() {
+  if (stopped_ || runtime_ == nullptr) return;
+  registry_client_->list([this](Result<std::vector<Binding>> bindings) {
+    if (stopped_) return;
+    if (bindings.ok()) {
+      handle_listing(bindings.value());
+    }
+    runtime_->scheduler().schedule_after(poll_interval_, [this]() { poll(); });
+  });
+}
+
+void RmiMapper::handle_listing(const std::vector<Binding>& bindings) {
+  std::set<std::string> seen;
+  for (const Binding& binding : bindings) {
+    if (binding.name.rfind("umiddle-gw-", 0) == 0) continue;  // our own gateways
+    seen.insert(binding.name);
+    if (by_name_.count(binding.name) != 0 || pending_.count(binding.name) != 0) continue;
+    const core::UsdlService* usdl = library_.find("rmi", binding.type);
+    if (usdl == nullptr) continue;
+    pending_.insert(binding.name);
+    auto translator = std::make_unique<RmiTranslator>(*this, binding, *usdl);
+    std::string name = binding.name;
+    runtime_->instantiate(std::move(translator), [this, name](Result<TranslatorId> r) {
+      pending_.erase(name);
+      if (!r.ok()) {
+        log::Entry(log::Level::warn, "rmi") << "instantiate failed: " << r.error().to_string();
+        return;
+      }
+      by_name_[name] = r.value();
+    });
+  }
+  // Bindings that vanished from the registry → unmap their translators.
+  for (auto it = by_name_.begin(); it != by_name_.end();) {
+    if (seen.count(it->first) == 0) {
+      (void)runtime_->unmap(it->second);
+      it = by_name_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RmiMapper::export_gateway(RmiTranslator& translator, const std::string& method) {
+  std::string object = "umiddle-gw-" + translator.binding().name;
+  RmiTranslator* raw = &translator;
+  gateway_->export_method(object, method,
+                          [raw, method](const Bytes& args) -> Result<Bytes> {
+                            raw->gateway_receive(method, args);
+                            return to_bytes("ok");
+                          });
+}
+
+void RmiMapper::bind_gateway_in_registry(const std::string& service_name) {
+  registry_client_->bind(
+      Binding{"umiddle-gw-" + service_name, "umiddle:gateway", runtime_->host(), gateway_port_},
+      [](Result<void> r) {
+        if (!r.ok()) {
+          log::Entry(log::Level::warn, "rmi")
+              << "gateway bind failed: " << r.error().to_string();
+        }
+      });
+}
+
+void register_rmi_usdl(core::UsdlLibrary& library) {
+  if (auto r = library.add_text(kEchoUsdl); !r.ok()) std::abort();
+}
+
+}  // namespace umiddle::rmi

@@ -1,0 +1,92 @@
+// The Java RMI mapper and its generic translator (paper §5.3 uses a "Java RMI
+// mapper" to benchmark transport-level bridging).
+//
+// Discovery: the mapper polls the RMI registry and imports every binding whose
+// type string has a USDL document ("rmi:echo" → the echo-service description).
+//
+// USDL binding kinds understood by this mapper:
+//   kind="call"    — an input-port message becomes a synchronous RMI call of
+//       native attr method="..." on the service object. While the call is in
+//       flight the translator reports not-ready: the transport buffers — this
+//       is exactly the narrow-service bottleneck of §5.3.
+//   kind="gateway" — the mapper exports a gateway object "umiddle-gw-<name>"
+//       and binds it in the registry; the native service pushes into uMiddle
+//       by calling native attr method="..." on it, and the payload is emitted
+//       from the binding's (output) port.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/umiddle.hpp"
+#include "rmi/service.hpp"
+
+namespace umiddle::rmi {
+
+class RmiMapper;
+
+class RmiTranslator final : public core::Translator {
+ public:
+  RmiTranslator(RmiMapper& mapper, Binding binding, const core::UsdlService& usdl);
+  ~RmiTranslator() override;
+
+  Result<void> deliver(const std::string& port, const core::Message& msg) override;
+  bool ready(const std::string& port) const override;
+  void on_mapped() override;
+  void on_unmapped() override;
+
+  /// Called by the mapper's gateway server when the native service pushes.
+  void gateway_receive(const std::string& method, const Bytes& data);
+
+  const Binding& binding() const { return binding_; }
+
+ private:
+  RmiMapper& mapper_;
+  Binding binding_;
+  const core::UsdlService& usdl_;
+  std::shared_ptr<RmiConnection> connection_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+class RmiMapper final : public core::Mapper {
+ public:
+  RmiMapper(net::Endpoint registry, const core::UsdlLibrary& library,
+            std::uint16_t gateway_port = 1098,
+            sim::Duration poll_interval = sim::seconds(1));
+  ~RmiMapper() override;
+
+  void start(core::Runtime& runtime) override;
+  void stop() override;
+
+  // --- base-protocol support used by translators -------------------------------
+  core::Runtime& runtime() { return *runtime_; }
+  net::Network& network() { return runtime_->network(); }
+  const net::Endpoint& registry() const { return registry_; }
+  RmiObjectServer& gateway_server() { return *gateway_; }
+  /// Register/unregister a gateway object for a translator.
+  void export_gateway(RmiTranslator& translator, const std::string& method);
+  void bind_gateway_in_registry(const std::string& service_name);
+
+  std::size_t mapped_count() const { return by_name_.size(); }
+
+ private:
+  void poll();
+  void handle_listing(const std::vector<Binding>& bindings);
+
+  net::Endpoint registry_;
+  const core::UsdlLibrary& library_;
+  std::uint16_t gateway_port_;
+  sim::Duration poll_interval_;
+  core::Runtime* runtime_ = nullptr;
+  std::unique_ptr<RmiObjectServer> gateway_;
+  std::unique_ptr<RegistryClient> registry_client_;
+  std::map<std::string, TranslatorId> by_name_;
+  std::set<std::string> pending_;  ///< instantiating, not yet mapped
+  bool stopped_ = false;
+};
+
+/// Register the built-in USDL document for "rmi:echo" services.
+void register_rmi_usdl(core::UsdlLibrary& library);
+
+}  // namespace umiddle::rmi

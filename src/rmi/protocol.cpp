@@ -1,0 +1,238 @@
+#include "rmi/protocol.hpp"
+
+#include "common/log.hpp"
+
+namespace umiddle::rmi {
+namespace {
+
+constexpr const char* kMagic = "JRMI";
+constexpr std::uint8_t kOpCall = 0x50;
+constexpr std::uint8_t kOpReturn = 0x51;
+constexpr std::uint8_t kOpException = 0x52;
+
+Result<void> check_magic(ByteReader& r) {
+  auto magic = r.str(4);
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != kMagic) {
+    return make_error(Errc::protocol_error, "rmi: bad stream magic");
+  }
+  return ok_result();
+}
+
+}  // namespace
+
+Bytes encode_call(const Call& call) {
+  ByteWriter w;
+  w.str(kMagic);
+  w.u8(kOpCall);
+  w.str16(call.object);
+  w.str16(call.method);
+  // Java-serialization class descriptors: deterministic filler that costs
+  // real wire time in the simulation.
+  w.u16(static_cast<std::uint16_t>(kSerializationOverhead));
+  for (std::size_t i = 0; i < kSerializationOverhead; ++i) {
+    w.u8(static_cast<std::uint8_t>(0x70 + (i % 16)));
+  }
+  w.u32(static_cast<std::uint32_t>(call.args.size()));
+  w.bytes(call.args);
+  return w.take();
+}
+
+Bytes encode_return(const Return& ret) {
+  ByteWriter w;
+  w.str(kMagic);
+  w.u8(ret.exception ? kOpException : kOpReturn);
+  w.u32(static_cast<std::uint32_t>(ret.value.size()));
+  w.bytes(ret.value);
+  return w.take();
+}
+
+Result<void> Decoder::feed(std::span<const std::uint8_t> chunk, std::vector<Call>& calls,
+                           std::vector<Return>& returns) {
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  while (true) {
+    ByteReader r(buffer_);
+    if (buffer_.size() < 5) return ok_result();
+    if (auto m = check_magic(r); !m.ok()) return m;
+    std::uint8_t op = r.u8().value();
+    if (kind_ == Kind::calls) {
+      if (op != kOpCall) return make_error(Errc::protocol_error, "rmi: expected call");
+      Call call;
+      auto object = r.str16();
+      if (!object.ok()) return ok_result();  // partial
+      auto method = r.str16();
+      if (!method.ok()) return ok_result();
+      auto desc_len = r.u16();
+      if (!desc_len.ok()) return ok_result();
+      if (auto skip = r.bytes(desc_len.value()); !skip.ok()) return ok_result();
+      auto len = r.u32();
+      if (!len.ok()) return ok_result();
+      auto args = r.bytes(len.value());
+      if (!args.ok()) return ok_result();
+      call.object = std::move(object).take();
+      call.method = std::move(method).take();
+      call.args = std::move(args).take();
+      calls.push_back(std::move(call));
+    } else {
+      if (op != kOpReturn && op != kOpException) {
+        return make_error(Errc::protocol_error, "rmi: expected return");
+      }
+      auto len = r.u32();
+      if (!len.ok()) return ok_result();
+      auto value = r.bytes(len.value());
+      if (!value.ok()) return ok_result();
+      returns.push_back(Return{op == kOpException, std::move(value).take()});
+    }
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(r.position()));
+  }
+}
+
+// --- RmiConnection ------------------------------------------------------------------
+
+RmiConnection::RmiConnection(net::StreamPtr stream) : stream_(std::move(stream)) {
+  stream_->on_connected([this, alive = alive_]() {
+    if (!*alive) return;
+    connected_ = true;
+    pump();
+  });
+  stream_->on_data([this, alive = alive_](std::span<const std::uint8_t> chunk) {
+    if (!*alive) return;
+    std::vector<Call> calls;
+    std::vector<Return> returns;
+    if (auto r = decoder_.feed(chunk, calls, returns); !r.ok()) {
+      if (current_done_) {
+        auto done = std::move(current_done_);
+        current_done_ = nullptr;
+        done(r.error());
+      }
+      if (*alive) stream_->close();
+      return;
+    }
+    for (Return& ret : returns) {
+      in_flight_ = false;
+      {
+        auto done = std::move(current_done_);
+        current_done_ = nullptr;
+        if (done) done(std::move(ret));
+        // `done` is destroyed here — and it may hold the last shared_ptr to
+        // this connection (callers capture the connection in the callback).
+      }
+      if (!*alive) return;
+      pump();
+    }
+  });
+  stream_->on_close([this, alive = alive_]() {
+    if (!*alive) return;
+    closed_ = true;
+    if (current_done_) {
+      auto done = std::move(current_done_);
+      current_done_ = nullptr;
+      done(make_error(Errc::disconnected, "rmi: connection closed"));
+    }
+    for (auto& [call, done] : queue_) {
+      done(make_error(Errc::disconnected, "rmi: connection closed"));
+    }
+    queue_.clear();
+  });
+  // Streams returned by an accept handler are already established.
+  connected_ = stream_->connected();
+}
+
+void RmiConnection::call(Call call, ReturnFn done) {
+  if (closed_) {
+    done(make_error(Errc::disconnected, "rmi: connection closed"));
+    return;
+  }
+  queue_.emplace_back(std::move(call), std::move(done));
+  pump();
+}
+
+void RmiConnection::pump() {
+  if (!connected_ || in_flight_ || queue_.empty() || closed_) return;
+  auto [call, done] = std::move(queue_.front());
+  queue_.pop_front();
+  in_flight_ = true;
+  current_done_ = std::move(done);
+  (void)stream_->send(encode_call(call));
+}
+
+RmiConnection::~RmiConnection() {
+  *alive_ = false;
+  if (!closed_) stream_->close();
+}
+
+void RmiConnection::close() {
+  if (!closed_) stream_->close();
+}
+
+// --- RmiObjectServer -------------------------------------------------------------------
+
+RmiObjectServer::RmiObjectServer(net::Network& net, std::string host, std::uint16_t port)
+    : net_(net), host_(std::move(host)), port_(port) {}
+
+RmiObjectServer::~RmiObjectServer() { stop(); }
+
+Result<void> RmiObjectServer::start() {
+  if (started_) return ok_result();
+  auto r = net_.listen({host_, port_}, [this](net::StreamPtr s) { serve(std::move(s)); });
+  if (!r.ok()) return r;
+  started_ = true;
+  return ok_result();
+}
+
+void RmiObjectServer::stop() {
+  if (!started_) return;
+  net_.stop_listening({host_, port_});
+  // close() fires close handlers synchronously, which mutate connections_;
+  // detach the container before walking it.
+  auto connections = std::move(connections_);
+  connections_.clear();
+  for (const net::StreamPtr& c : connections) c->close();
+  started_ = false;
+}
+
+void RmiObjectServer::export_method(const std::string& object, const std::string& method,
+                                    MethodFn fn) {
+  methods_[{object, method}] = std::move(fn);
+}
+
+void RmiObjectServer::remove_object(const std::string& object) {
+  std::erase_if(methods_, [&](const auto& entry) { return entry.first.first == object; });
+}
+
+void RmiObjectServer::serve(net::StreamPtr stream) {
+  auto decoder = std::make_shared<Decoder>(Decoder::Kind::calls);
+  net::Stream* raw = stream.get();
+  connections_.push_back(stream);
+  stream->on_close([this, raw]() {
+    std::erase_if(connections_, [raw](const net::StreamPtr& s) { return s.get() == raw; });
+  });
+  stream->on_data([this, decoder, raw](std::span<const std::uint8_t> chunk) {
+    std::vector<Call> calls;
+    std::vector<Return> returns;
+    if (auto r = decoder->feed(chunk, calls, returns); !r.ok()) {
+      raw->close();
+      return;
+    }
+    for (const Call& call : calls) {
+      ++calls_served_;
+      auto method = methods_.find({call.object, call.method});
+      Return ret;
+      if (method == methods_.end()) {
+        ret.exception = true;
+        ret.value = to_bytes("NoSuchMethodException: " + call.object + "." + call.method);
+      } else {
+        auto result = method->second(call.args);
+        if (result.ok()) {
+          ret.value = std::move(result).take();
+        } else {
+          ret.exception = true;
+          ret.value = to_bytes(result.error().to_string());
+        }
+      }
+      (void)raw->send(encode_return(ret));
+    }
+  });
+}
+
+}  // namespace umiddle::rmi

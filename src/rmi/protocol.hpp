@@ -1,0 +1,124 @@
+// Java-RMI-like remote invocation protocol (JRMP-flavoured).
+//
+// The paper bridges "Java RMI" services; this module reproduces the two
+// properties that matter for its evaluation (§5.3):
+//   * calls are *synchronous* — one outstanding call per connection, the
+//     caller blocks until the return lands (this is why the RMI leg is the
+//     transport-level bottleneck);
+//   * marshalling is *heavy* — every call carries a Java-serialization-style
+//     preamble (stream magic + class descriptors), modelled as a fixed
+//     overhead block, so an RMI byte costs more wire time than an MB byte.
+//
+// Wire format over a stream:
+//   call:   "JRMI" u8 0x50, str16 object, str16 method,
+//           u16 descriptor-bytes, descriptor filler, u32 len, payload
+//   return: "JRMI" u8 0x51 (return) | 0x52 (exception), u32 len, payload
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "netsim/stream.hpp"
+
+namespace umiddle::rmi {
+
+/// Bytes of Java-serialization class-descriptor overhead added to every call.
+constexpr std::size_t kSerializationOverhead = 120;
+
+struct Call {
+  std::string object;
+  std::string method;
+  Bytes args;
+};
+
+struct Return {
+  bool exception = false;
+  Bytes value;
+};
+
+Bytes encode_call(const Call& call);
+Bytes encode_return(const Return& ret);
+
+/// Incremental decoder for either side of a connection.
+class Decoder {
+ public:
+  enum class Kind { calls, returns };
+  explicit Decoder(Kind kind) : kind_(kind) {}
+
+  Result<void> feed(std::span<const std::uint8_t> chunk, std::vector<Call>& calls,
+                    std::vector<Return>& returns);
+
+ private:
+  Kind kind_;
+  Bytes buffer_;
+};
+
+/// Client side of one RMI connection: serial, queued synchronous calls.
+class RmiConnection {
+ public:
+  using ReturnFn = std::function<void(Result<Return>)>;
+
+  explicit RmiConnection(net::StreamPtr stream);
+  ~RmiConnection();
+  RmiConnection(const RmiConnection&) = delete;
+  RmiConnection& operator=(const RmiConnection&) = delete;
+
+  /// Queue a call; callbacks fire strictly in call order.
+  void call(Call call, ReturnFn done);
+  /// True when no call is outstanding or queued (the backpressure signal
+  /// uMiddle's RMI translator surfaces to the transport).
+  bool idle() const { return !in_flight_ && queue_.empty(); }
+  void close();
+
+ private:
+  void pump();
+
+  net::StreamPtr stream_;
+  Decoder decoder_{Decoder::Kind::returns};
+  std::deque<std::pair<Call, ReturnFn>> queue_;
+  ReturnFn current_done_;
+  bool in_flight_ = false;
+  bool connected_ = false;
+  bool closed_ = false;
+  /// Stream handlers may outlive this object (the stream is owned by the
+  /// network until teardown completes); they must check before touching it.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+/// Server side: exports named objects with per-method handlers.
+class RmiObjectServer {
+ public:
+  using MethodFn = std::function<Result<Bytes>(const Bytes& args)>;
+
+  RmiObjectServer(net::Network& net, std::string host, std::uint16_t port);
+  ~RmiObjectServer();
+  RmiObjectServer(const RmiObjectServer&) = delete;
+  RmiObjectServer& operator=(const RmiObjectServer&) = delete;
+
+  Result<void> start();
+  void stop();
+
+  void export_method(const std::string& object, const std::string& method, MethodFn fn);
+  /// Drop every method of an exported object (calls then raise NoSuchMethod).
+  void remove_object(const std::string& object);
+
+  const std::string& host() const { return host_; }
+  std::uint16_t port() const { return port_; }
+  std::uint64_t calls_served() const { return calls_served_; }
+
+ private:
+  void serve(net::StreamPtr stream);
+
+  net::Network& net_;
+  std::string host_;
+  std::uint16_t port_;
+  bool started_ = false;
+  std::map<std::pair<std::string, std::string>, MethodFn> methods_;
+  std::vector<net::StreamPtr> connections_;
+  std::uint64_t calls_served_ = 0;
+};
+
+}  // namespace umiddle::rmi

@@ -1,0 +1,126 @@
+#include "rmi/registry.hpp"
+
+#include "common/strings.hpp"
+
+namespace umiddle::rmi {
+
+std::string Binding::serialize() const {
+  return name + "|" + type + "|" + host + "|" + std::to_string(port);
+}
+
+Result<Binding> Binding::parse(std::string_view text) {
+  auto parts = strings::split(text, '|');
+  if (parts.size() != 4) return make_error(Errc::parse_error, "rmi: bad binding record");
+  std::uint64_t port = 0;
+  if (!strings::parse_u64(parts[3], port) || port == 0 || port > 65535) {
+    return make_error(Errc::parse_error, "rmi: bad binding port");
+  }
+  return Binding{parts[0], parts[1], parts[2], static_cast<std::uint16_t>(port)};
+}
+
+RmiRegistry::RmiRegistry(net::Network& net, std::string host, std::uint16_t port)
+    : host_(std::move(host)), port_(port), server_(net, host_, port_) {
+  server_.export_method("registry", "bind", [this](const Bytes& args) -> Result<Bytes> {
+    auto binding = Binding::parse(umiddle::to_string(args));
+    if (!binding.ok()) return binding.error();
+    bindings_[binding.value().name] = binding.value();
+    return to_bytes("ok");
+  });
+  server_.export_method("registry", "unbind", [this](const Bytes& args) -> Result<Bytes> {
+    bindings_.erase(umiddle::to_string(args));
+    return to_bytes("ok");
+  });
+  server_.export_method("registry", "lookup", [this](const Bytes& args) -> Result<Bytes> {
+    auto it = bindings_.find(umiddle::to_string(args));
+    if (it == bindings_.end()) return make_error(Errc::not_found, "not bound");
+    return to_bytes(it->second.serialize());
+  });
+  server_.export_method("registry", "list", [this](const Bytes&) -> Result<Bytes> {
+    std::string out;
+    for (const auto& [name, binding] : bindings_) {
+      out += binding.serialize() + "\n";
+    }
+    return to_bytes(out);
+  });
+}
+
+Result<void> RmiRegistry::start() { return server_.start(); }
+
+void RmiRegistry::stop() { server_.stop(); }
+
+RegistryClient::RegistryClient(net::Network& net, std::string from_host, net::Endpoint registry)
+    : net_(net), from_host_(std::move(from_host)), registry_(std::move(registry)) {}
+
+void RegistryClient::invoke(const std::string& method, Bytes args,
+                            std::function<void(Result<Return>)> done) {
+  auto stream = net_.connect(from_host_, registry_);
+  if (!stream.ok()) {
+    done(stream.error());
+    return;
+  }
+  auto conn = std::make_shared<RmiConnection>(stream.value());
+  conn->call(Call{"registry", method, std::move(args)},
+             [conn, done = std::move(done)](Result<Return> r) {
+               done(std::move(r));
+               conn->close();
+             });
+}
+
+void RegistryClient::bind(const Binding& binding, DoneFn done) {
+  invoke("bind", to_bytes(binding.serialize()), [done = std::move(done)](Result<Return> r) {
+    if (!r.ok()) {
+      done(r.error());
+    } else if (r.value().exception) {
+      done(make_error(Errc::refused, umiddle::to_string(r.value().value)));
+    } else {
+      done(ok_result());
+    }
+  });
+}
+
+void RegistryClient::unbind(const std::string& name, DoneFn done) {
+  invoke("unbind", to_bytes(name), [done = std::move(done)](Result<Return> r) {
+    if (!r.ok()) {
+      done(r.error());
+    } else {
+      done(ok_result());
+    }
+  });
+}
+
+void RegistryClient::lookup(const std::string& name, LookupFn done) {
+  invoke("lookup", to_bytes(name), [done = std::move(done)](Result<Return> r) {
+    if (!r.ok()) {
+      done(r.error());
+      return;
+    }
+    if (r.value().exception) {
+      done(make_error(Errc::not_found, umiddle::to_string(r.value().value)));
+      return;
+    }
+    done(Binding::parse(umiddle::to_string(r.value().value)));
+  });
+}
+
+void RegistryClient::list(ListFn done) {
+  invoke("list", {}, [done = std::move(done)](Result<Return> r) {
+    if (!r.ok()) {
+      done(r.error());
+      return;
+    }
+    std::vector<Binding> out;
+    for (const std::string& line :
+         strings::split(umiddle::to_string(r.value().value), '\n')) {
+      if (line.empty()) continue;
+      auto binding = Binding::parse(line);
+      if (!binding.ok()) {
+        done(binding.error());
+        return;
+      }
+      out.push_back(std::move(binding).take());
+    }
+    done(std::move(out));
+  });
+}
+
+}  // namespace umiddle::rmi

@@ -1,0 +1,66 @@
+// The RMI registry: bind/lookup/list of named remote objects, itself exposed
+// as a remote object ("registry") over the RMI protocol on port 1099.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "rmi/protocol.hpp"
+
+namespace umiddle::rmi {
+
+constexpr std::uint16_t kRegistryPort = 1099;
+
+/// A registry entry: where to reach a named remote object, plus a free-form
+/// type string ("rmi:echo") the uMiddle mapper matches USDL documents against.
+struct Binding {
+  std::string name;
+  std::string type;
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string serialize() const;
+  static Result<Binding> parse(std::string_view text);
+};
+
+class RmiRegistry {
+ public:
+  RmiRegistry(net::Network& net, std::string host, std::uint16_t port = kRegistryPort);
+
+  Result<void> start();
+  void stop();
+
+  std::size_t size() const { return bindings_.size(); }
+  net::Endpoint endpoint() const { return {host_, port_}; }
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  RmiObjectServer server_;
+  std::map<std::string, Binding> bindings_;
+};
+
+/// Client helpers (each opens a short-lived connection to the registry).
+class RegistryClient {
+ public:
+  using ListFn = std::function<void(Result<std::vector<Binding>>)>;
+  using LookupFn = std::function<void(Result<Binding>)>;
+  using DoneFn = std::function<void(Result<void>)>;
+
+  RegistryClient(net::Network& net, std::string from_host, net::Endpoint registry);
+
+  void bind(const Binding& binding, DoneFn done);
+  void unbind(const std::string& name, DoneFn done);
+  void lookup(const std::string& name, LookupFn done);
+  void list(ListFn done);
+
+ private:
+  void invoke(const std::string& method, Bytes args,
+              std::function<void(Result<Return>)> done);
+
+  net::Network& net_;
+  std::string from_host_;
+  net::Endpoint registry_;
+};
+
+}  // namespace umiddle::rmi

@@ -1,0 +1,83 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace umiddle::sim {
+
+EventHandle Scheduler::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < Duration(0)) delay = Duration(0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Scheduler::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  std::uint64_t seq = next_seq_++;
+  queue_.push(Event{when, seq, std::move(fn)});
+  return EventHandle(seq);
+}
+
+void Scheduler::cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  cancelled_set_.push_back(handle.seq_);
+  ++cancelled_;
+}
+
+bool Scheduler::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue has no non-const top-move; the function object is copied out
+    // via const_cast-free path: take a copy of when/seq, move fn via const_cast is
+    // UB — instead copy. Events are small; copying the std::function is acceptable
+    // here and keeps the code simple and correct.
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = std::find(cancelled_set_.begin(), cancelled_set_.end(), ev.seq);
+    if (it != cancelled_set_.end()) {
+      cancelled_set_.erase(it);
+      --cancelled_;
+      continue;
+    }
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t n = 0;
+  Event ev;
+  while (pop_next(ev)) {
+    now_ = ev.when;
+    ev.fn();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Scheduler::run_until(TimePoint deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) break;
+    Event ev;
+    if (!pop_next(ev)) break;
+    if (ev.when > deadline) {
+      // pop_next skipped cancelled entries and surfaced a later event; put it back.
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.when;
+    ev.fn();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Scheduler::step() {
+  Event ev;
+  if (!pop_next(ev)) return false;
+  now_ = ev.when;
+  ev.fn();
+  return true;
+}
+
+}  // namespace umiddle::sim

@@ -1,0 +1,102 @@
+// Discrete-event scheduler with virtual time.
+//
+// Every substrate in this reproduction (netsim, the protocol stacks, the uMiddle
+// runtime) is event-driven on top of this scheduler, which makes whole-system runs
+// deterministic: the paper's benchmarks are reported in *virtual* time, so results
+// are exactly reproducible across machines (see DESIGN.md §3).
+//
+// Events at equal timestamps fire in insertion order.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace umiddle::sim {
+
+/// Virtual time since simulation start.
+using Duration = std::chrono::nanoseconds;
+using TimePoint = Duration;
+
+constexpr Duration nanoseconds(std::int64_t n) { return Duration(n); }
+constexpr Duration microseconds(std::int64_t n) { return Duration(n * 1000); }
+constexpr Duration milliseconds(std::int64_t n) { return Duration(n * 1000'000); }
+constexpr Duration seconds(std::int64_t n) { return Duration(n * 1000'000'000); }
+
+/// Duration in fractional units, for reporting.
+constexpr double to_seconds(Duration d) { return static_cast<double>(d.count()) * 1e-9; }
+constexpr double to_millis(Duration d) { return static_cast<double>(d.count()) * 1e-6; }
+
+/// Handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// Single-threaded discrete-event loop.
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Run `fn` at the current time, after already-queued same-time events.
+  EventHandle post(std::function<void()> fn) { return schedule_after(Duration(0), std::move(fn)); }
+
+  /// Run `fn` `delay` after now (negative delays clamp to 0).
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Run `fn` at absolute virtual time `when` (past times clamp to now).
+  EventHandle schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Cancel a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventHandle handle);
+
+  /// Process events until the queue is empty. Returns events processed.
+  std::size_t run();
+
+  /// Process events with time <= deadline; virtual time ends at `deadline`
+  /// even if the queue drains early. Returns events processed.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Convenience: run_until(now() + d).
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  /// Process at most one event. Returns false if the queue is empty.
+  bool step();
+
+  std::size_t pending() const { return queue_.size() - cancelled_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+
+    // min-heap by (when, seq)
+    friend bool operator>(const Event& a, const Event& b) {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Event& out);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::uint64_t> cancelled_set_;
+  TimePoint now_{0};
+  std::uint64_t next_seq_ = 1;
+  std::size_t cancelled_ = 0;
+};
+
+}  // namespace umiddle::sim

@@ -1,0 +1,180 @@
+#include "upnp/control_point.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace umiddle::upnp {
+
+ControlPoint::ControlPoint(net::Network& net, std::string host, std::uint16_t callback_port,
+                           UpnpCosts costs)
+    : net_(net), host_(std::move(host)), callback_port_(callback_port), costs_(costs),
+      ssdp_(net_, host_), callback_server_(net_, host_, callback_port_) {}
+
+ControlPoint::~ControlPoint() { stop(); }
+
+Result<void> ControlPoint::start() {
+  if (started_) return ok_result();
+  ssdp_.on_announcement([this](const SsdpAnnouncement& a) { handle_announcement(a); });
+  if (auto r = ssdp_.start(); !r.ok()) return r;
+  callback_server_.route_prefix(
+      "/gena/", [this](const HttpRequest& req, RespondFn respond) {
+        if (req.method != "NOTIFY") {
+          respond(HttpResponse::make(405, "Method Not Allowed"));
+          return;
+        }
+        auto handler = event_handlers_.find(req.path);
+        if (handler == event_handlers_.end()) {
+          respond(HttpResponse::make(404, "Not Found"));
+          return;
+        }
+        auto set = PropertySet::from_xml_text(req.body);
+        if (!set.ok()) {
+          respond(HttpResponse::make(400, "Bad Request"));
+          return;
+        }
+        handler->second(set.value());
+        respond(HttpResponse::make(200, "OK"));
+      });
+  if (auto r = callback_server_.start(); !r.ok()) {
+    ssdp_.stop();
+    return r;
+  }
+  started_ = true;
+  return ok_result();
+}
+
+void ControlPoint::stop() {
+  if (!started_) return;
+  ssdp_.stop();
+  callback_server_.stop();
+  started_ = false;
+}
+
+Result<void> ControlPoint::search() { return ssdp_.search("ssdp:all"); }
+
+void ControlPoint::handle_announcement(const SsdpAnnouncement& a) {
+  // USN is "uuid:...::urn:device-type"; the UDN is the part before "::".
+  std::string udn = a.usn;
+  if (std::size_t sep = udn.find("::"); sep != std::string::npos) udn = udn.substr(0, sep);
+
+  if (!a.alive) {
+    if (known_.erase(udn) > 0 && on_device_gone_) on_device_gone_(udn);
+    return;
+  }
+  if (known_.count(udn) != 0 || a.location.empty()) return;
+  known_.insert(udn);
+  fetch_description(udn, a.location);
+}
+
+void ControlPoint::fetch_description(const std::string& udn, const std::string& location) {
+  auto uri = Uri::parse(location);
+  if (!uri.ok()) {
+    log::Entry(log::Level::warn, "upnp-cp") << "bad LOCATION: " << location;
+    known_.erase(udn);
+    return;
+  }
+  HttpRequest req;
+  req.method = "GET";
+  req.path = uri.value().path;
+  http_fetch(net_, host_, uri.value(), std::move(req),
+             [this, udn, location](Result<HttpResponse> r) {
+               if (!r.ok() || r.value().status != 200) {
+                 log::Entry(log::Level::warn, "upnp-cp")
+                     << "description fetch failed for " << location;
+                 known_.erase(udn);
+                 return;
+               }
+               // Charge CyberLink-era description parsing before reporting.
+               std::string body = r.value().body;
+               net_.scheduler().schedule_after(
+                   costs_.description_parse, [this, udn, location, body]() {
+                     auto desc = DeviceDescription::from_xml_text(body);
+                     if (!desc.ok()) {
+                       log::Entry(log::Level::warn, "upnp-cp")
+                           << "bad description from " << location << ": "
+                           << desc.error().to_string();
+                       known_.erase(udn);
+                       return;
+                     }
+                     if (on_device_) on_device_(desc.value(), location);
+                   });
+             });
+}
+
+void ControlPoint::invoke(const std::string& control_url, ActionRequest request,
+                          ActionFn done) {
+  auto uri = Uri::parse(control_url);
+  if (!uri.ok()) {
+    done(uri.error());
+    return;
+  }
+  // Charge request marshalling, then POST.
+  net_.scheduler().schedule_after(
+      costs_.soap_marshal,
+      [this, uri = uri.value(), request = std::move(request), done = std::move(done)]() {
+        HttpRequest post;
+        post.method = "POST";
+        post.path = uri.path;
+        post.headers["soapaction"] = request.soap_action_header();
+        post.headers["content-type"] = "text/xml; charset=\"utf-8\"";
+        post.body = request.to_envelope();
+        http_fetch(net_, host_, uri, std::move(post), [this, done](Result<HttpResponse> r) {
+          if (!r.ok()) {
+            done(r.error());
+            return;
+          }
+          // Charge response unmarshalling, then parse and report.
+          auto resp = std::make_shared<HttpResponse>(std::move(r).take());
+          net_.scheduler().schedule_after(costs_.soap_unmarshal, [resp, done]() {
+            if (resp->status == 200) {
+              auto parsed = ActionResponse::from_envelope(resp->body);
+              if (!parsed.ok()) {
+                done(parsed.error());
+              } else {
+                done(std::move(parsed).take());
+              }
+              return;
+            }
+            auto fault = SoapFault::from_envelope(resp->body);
+            if (fault.ok()) {
+              done(make_error(Errc::refused,
+                              "UPnP error " + std::to_string(fault.value().error_code) + ": " +
+                                  fault.value().description));
+            } else {
+              done(make_error(Errc::protocol_error,
+                              "HTTP " + std::to_string(resp->status) + " from control URL"));
+            }
+          });
+        });
+      });
+}
+
+std::string ControlPoint::subscribe(const std::string& event_sub_url, EventFn on_event) {
+  auto uri = Uri::parse(event_sub_url);
+  if (!uri.ok()) {
+    log::Entry(log::Level::warn, "upnp-cp") << "bad event URL: " << event_sub_url;
+    return {};
+  }
+  std::string path = "/gena/" + std::to_string(next_callback_++);
+  event_handlers_[path] = std::move(on_event);
+
+  HttpRequest sub;
+  sub.method = "SUBSCRIBE";
+  sub.path = uri.value().path;
+  sub.headers["callback"] =
+      "<http://" + host_ + ":" + std::to_string(callback_port_) + path + ">";
+  sub.headers["nt"] = "upnp:event";
+  sub.headers["timeout"] = "Second-1800";
+  http_fetch(net_, host_, uri.value(), std::move(sub), [event_sub_url](Result<HttpResponse> r) {
+    if (!r.ok() || r.value().status != 200) {
+      log::Entry(log::Level::warn, "upnp-cp") << "SUBSCRIBE failed for " << event_sub_url;
+    }
+  });
+  return path;
+}
+
+void ControlPoint::drop_subscription(const std::string& token) {
+  event_handlers_.erase(token);
+}
+
+}  // namespace umiddle::upnp

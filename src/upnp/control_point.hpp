@@ -1,0 +1,79 @@
+// UPnP control point: the base-protocol support the UPnP mapper provides to
+// its translators (paper §3.2 — the mapper "contains a base-protocol support
+// for the target platform, such as ... SOAP in the case of UPnP").
+//
+// Capabilities: SSDP search/listen, description fetch, SOAP action invocation
+// (with virtual-time marshal/unmarshal costs), and GENA subscriptions with a
+// local HTTP callback server.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "upnp/description.hpp"
+#include "upnp/device.hpp"
+#include "upnp/gena.hpp"
+#include "upnp/http.hpp"
+#include "upnp/soap.hpp"
+#include "upnp/ssdp.hpp"
+
+namespace umiddle::upnp {
+
+class ControlPoint {
+ public:
+  using DeviceFn = std::function<void(const DeviceDescription&, const std::string& location)>;
+  using DeviceGoneFn = std::function<void(const std::string& udn)>;
+  using ActionFn = std::function<void(Result<ActionResponse>)>;
+  using EventFn = std::function<void(const PropertySet&)>;
+
+  ControlPoint(net::Network& net, std::string host, std::uint16_t callback_port = 7902,
+               UpnpCosts costs = {});
+  ~ControlPoint();
+  ControlPoint(const ControlPoint&) = delete;
+  ControlPoint& operator=(const ControlPoint&) = delete;
+
+  Result<void> start();
+  void stop();
+
+  void on_device(DeviceFn fn) { on_device_ = std::move(fn); }
+  void on_device_gone(DeviceGoneFn fn) { on_device_gone_ = std::move(fn); }
+
+  /// Multicast an M-SEARCH for everything.
+  Result<void> search();
+
+  /// POST a SOAP action to a control URL. Marshal/unmarshal costs are charged
+  /// in virtual time on this (control-point) side.
+  void invoke(const std::string& control_url, ActionRequest request, ActionFn done);
+
+  /// GENA-subscribe to a service's events; `on_event` fires per NOTIFY.
+  /// Returns a token for drop_subscription.
+  std::string subscribe(const std::string& event_sub_url, EventFn on_event);
+  /// Stop dispatching events for a subscription token (local teardown; the
+  /// device-side subscription simply ages out, as real GENA leases do).
+  void drop_subscription(const std::string& token);
+
+  const UpnpCosts& costs() const { return costs_; }
+  std::size_t known_devices() const { return known_.size(); }
+
+ private:
+  void handle_announcement(const SsdpAnnouncement& a);
+  void fetch_description(const std::string& udn, const std::string& location);
+
+  net::Network& net_;
+  std::string host_;
+  std::uint16_t callback_port_;
+  UpnpCosts costs_;
+  SsdpAgent ssdp_;
+  HttpServer callback_server_;
+  bool started_ = false;
+  std::set<std::string> known_;    ///< UDNs already reported (or being fetched)
+  std::map<std::string, EventFn> event_handlers_;  ///< callback path → handler
+  std::uint64_t next_callback_ = 1;
+  DeviceFn on_device_;
+  DeviceGoneFn on_device_gone_;
+};
+
+}  // namespace umiddle::upnp

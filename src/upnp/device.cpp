@@ -1,0 +1,186 @@
+#include "upnp/device.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace umiddle::upnp {
+namespace {
+
+/// Device-relative URL slug for a service (control/event endpoints).
+std::string service_slug(const std::string& service_type) {
+  // "urn:schemas-upnp-org:service:SwitchPower:1" → "SwitchPower"
+  auto parts = strings::split(service_type, ':');
+  return parts.size() >= 2 ? parts[parts.size() - 2] : service_type;
+}
+
+}  // namespace
+
+UpnpDevice::UpnpDevice(net::Network& net, std::string host, std::uint16_t port,
+                       DeviceDescription description, UpnpCosts costs)
+    : net_(net), host_(std::move(host)), port_(port), description_(std::move(description)),
+      costs_(costs), http_(net_, host_, port_), ssdp_(net_, host_) {
+  // Fill in absolute URLs for every service.
+  std::string base = "http://" + host_ + ":" + std::to_string(port_);
+  for (ServiceDescription& svc : description_.services) {
+    std::string slug = service_slug(svc.service_type);
+    svc.control_url = base + "/control/" + slug;
+    svc.event_sub_url = base + "/event/" + slug;
+  }
+}
+
+UpnpDevice::~UpnpDevice() { stop(); }
+
+std::string UpnpDevice::location() const {
+  return "http://" + host_ + ":" + std::to_string(port_) + "/desc.xml";
+}
+
+Result<void> UpnpDevice::start() {
+  if (started_) return ok_result();
+  http_.route("/desc.xml", sync_handler([this](const HttpRequest&) {
+                return HttpResponse::make(200, "OK", description_.to_xml_text());
+              }));
+  for (const ServiceDescription& svc : description_.services) {
+    std::string slug = service_slug(svc.service_type);
+    std::string service_type = svc.service_type;
+    http_.route("/control/" + slug,
+                [this, service_type](const HttpRequest& req, RespondFn respond) {
+                  handle_control(service_type, req, std::move(respond));
+                });
+    http_.route("/event/" + slug,
+                [this, service_type](const HttpRequest& req, RespondFn respond) {
+                  handle_subscription(service_type, req, std::move(respond));
+                });
+  }
+  if (auto r = http_.start(); !r.ok()) return r;
+  if (auto r = ssdp_.start(); !r.ok()) {
+    http_.stop();
+    return r;
+  }
+  ssdp_.advertise(SsdpAnnouncement{description_.device_type,
+                                   description_.udn + "::" + description_.device_type,
+                                   location(), true});
+  started_ = true;
+  return ok_result();
+}
+
+void UpnpDevice::stop() {
+  if (!started_) return;
+  ssdp_.stop();  // multicasts byebye for advertised USNs
+  http_.stop();
+  started_ = false;
+}
+
+void UpnpDevice::on_action(const std::string& service_type, const std::string& action,
+                           ActionHandler handler) {
+  actions_[{service_type, action}] = std::move(handler);
+}
+
+void UpnpDevice::set_state(const std::string& service_type, const std::string& var,
+                           const std::string& value) {
+  auto key = std::make_pair(service_type, var);
+  auto it = state_.find(key);
+  if (it != state_.end() && it->second == value) return;  // no change, no event
+  state_[key] = value;
+  notify_subscribers(service_type, var, value);
+}
+
+std::string UpnpDevice::state(const std::string& service_type, const std::string& var) const {
+  auto it = state_.find({service_type, var});
+  return it == state_.end() ? std::string() : it->second;
+}
+
+void UpnpDevice::handle_control(const std::string& service_type, const HttpRequest& req,
+                                RespondFn respond) {
+  if (req.method != "POST") {
+    respond(HttpResponse::make(405, "Method Not Allowed"));
+    return;
+  }
+  auto request = ActionRequest::from_envelope(req.body, req.header("soapaction"));
+  if (!request.ok()) {
+    respond(HttpResponse::make(400, "Bad Request", SoapFault{401, "Invalid Action"}.to_envelope()));
+    return;
+  }
+  // Charge SOAP unmarshalling + actuation in virtual time, then run the handler.
+  sim::Duration work = costs_.soap_unmarshal + costs_.actuation;
+  net_.scheduler().schedule_after(
+      work, [this, request = std::move(request).take(), respond = std::move(respond)]() {
+        auto handler = actions_.find({request.service_type, request.action});
+        if (handler == actions_.end()) {
+          respond(HttpResponse::make(500, "Internal Server Error",
+                                     SoapFault{401, "Invalid Action"}.to_envelope()));
+          return;
+        }
+        auto result = handler->second(request);
+        ++actions_handled_;
+        // Charge response marshalling before the bytes leave the device.
+        net_.scheduler().schedule_after(
+            costs_.soap_marshal,
+            [result = std::move(result), respond = std::move(respond)]() {
+              if (result.ok()) {
+                respond(HttpResponse::make(200, "OK", result.value().to_envelope()));
+              } else {
+                respond(HttpResponse::make(500, "Internal Server Error",
+                                           SoapFault{501, result.error().message}.to_envelope()));
+              }
+            });
+      });
+}
+
+void UpnpDevice::handle_subscription(const std::string& service_type, const HttpRequest& req,
+                                     RespondFn respond) {
+  if (req.method == "SUBSCRIBE") {
+    std::string callback = req.header("callback");
+    // CALLBACK: <http://host:port/path>
+    if (callback.size() >= 2 && callback.front() == '<' && callback.back() == '>') {
+      callback = callback.substr(1, callback.size() - 2);
+    }
+    auto uri = Uri::parse(callback);
+    if (!uri.ok()) {
+      respond(HttpResponse::make(412, "Precondition Failed"));
+      return;
+    }
+    Subscription sub;
+    sub.sid = "uuid:sub-" + std::to_string(next_sid_++);
+    sub.service_type = service_type;
+    sub.callback = uri.value();
+    subscribers_.push_back(sub);
+    HttpResponse resp = HttpResponse::make(200, "OK");
+    resp.headers["sid"] = sub.sid;
+    resp.headers["timeout"] = "Second-1800";
+    respond(std::move(resp));
+    return;
+  }
+  if (req.method == "UNSUBSCRIBE") {
+    std::string sid = req.header("sid");
+    std::erase_if(subscribers_, [&](const Subscription& s) { return s.sid == sid; });
+    respond(HttpResponse::make(200, "OK"));
+    return;
+  }
+  respond(HttpResponse::make(405, "Method Not Allowed"));
+}
+
+void UpnpDevice::notify_subscribers(const std::string& service_type, const std::string& var,
+                                    const std::string& value) {
+  if (!started_) return;
+  PropertySet set;
+  set.properties[var] = value;
+  std::string body = set.to_xml_text();
+  for (const Subscription& sub : subscribers_) {
+    if (sub.service_type != service_type) continue;
+    HttpRequest notify;
+    notify.method = "NOTIFY";
+    notify.path = sub.callback.path;
+    notify.headers["nt"] = "upnp:event";
+    notify.headers["nts"] = "upnp:propchange";
+    notify.headers["sid"] = sub.sid;
+    notify.headers["content-type"] = "text/xml";
+    notify.body = body;
+    http_fetch(net_, host_, sub.callback, std::move(notify), [](Result<HttpResponse> r) {
+      if (!r.ok()) {
+        log::Entry(log::Level::debug, "gena") << "notify failed: " << r.error().to_string();
+      }
+    });
+  }
+}
+
+}  // namespace umiddle::upnp

@@ -1,0 +1,227 @@
+#include "upnp/devices.hpp"
+
+#include "common/base64.hpp"
+#include "common/strings.hpp"
+
+namespace umiddle::upnp {
+namespace {
+
+std::uint64_t next_udn_serial() {
+  static std::uint64_t serial = 0;
+  return ++serial;
+}
+
+DeviceDescription make_description(const std::string& device_type, std::string friendly_name,
+                                   std::vector<ServiceDescription> services) {
+  DeviceDescription d;
+  d.device_type = device_type;
+  d.friendly_name = std::move(friendly_name);
+  d.udn = "uuid:umiddle-sim-" + std::to_string(next_udn_serial());
+  d.services = std::move(services);
+  return d;
+}
+
+Result<ActionResponse> respond_with(const ActionRequest& req,
+                                    std::map<std::string, std::string> args = {}) {
+  ActionResponse resp;
+  resp.service_type = req.service_type;
+  resp.action = req.action;
+  resp.args = std::move(args);
+  return resp;
+}
+
+}  // namespace
+
+// --- BinaryLight ----------------------------------------------------------------
+
+BinaryLight::BinaryLight(net::Network& net, std::string host, std::uint16_t port,
+                         std::string friendly_name)
+    : UpnpDevice(net, std::move(host), port,
+                 make_description(kBinaryLightType, std::move(friendly_name),
+                                  {ServiceDescription{kSwitchPowerService,
+                                                      "urn:upnp-org:serviceId:SwitchPower",
+                                                      "", "",
+                                                      {"SetPower", "GetStatus"},
+                                                      {"Status"}}})) {
+  on_action(kSwitchPowerService, "SetPower", [this](const ActionRequest& req) {
+    auto it = req.args.find("Power");
+    if (it == req.args.end() || (it->second != "0" && it->second != "1")) {
+      return Result<ActionResponse>(make_error(Errc::invalid_argument, "Power must be 0 or 1"));
+    }
+    on_ = it->second == "1";
+    ++switch_count_;
+    set_state(kSwitchPowerService, "Status", on_ ? "1" : "0");
+    return respond_with(req);
+  });
+  on_action(kSwitchPowerService, "GetStatus", [this](const ActionRequest& req) {
+    return respond_with(req, {{"ResultStatus", on_ ? "1" : "0"}});
+  });
+}
+
+// --- ClockDevice -------------------------------------------------------------------
+
+ClockDevice::ClockDevice(net::Network& net, std::string host, std::uint16_t port,
+                         std::string friendly_name)
+    : UpnpDevice(net, std::move(host), port,
+                 make_description(
+                     kClockType, std::move(friendly_name),
+                     {ServiceDescription{
+                         kClockService, "urn:upnp-org:serviceId:Clock", "", "",
+                         {"GetTime", "SetTime", "GetDate", "SetDate", "SetAlarm",
+                          "CancelAlarm", "StartTimer", "StopTimer", "SetTimeZone"},
+                         {"Time", "AlarmArmed", "TimerRunning", "TimeZone", "Date"}}})) {
+  on_action(kClockService, "GetTime", [this](const ActionRequest& req) {
+    return respond_with(req, {{"CurrentTime", std::to_string(time_seconds())}});
+  });
+  on_action(kClockService, "SetTime", [this](const ActionRequest& req) {
+    auto it = req.args.find("NewTime");
+    std::uint64_t t = 0;
+    if (it == req.args.end() || !strings::parse_u64(it->second, t)) {
+      return Result<ActionResponse>(make_error(Errc::invalid_argument, "NewTime must be seconds"));
+    }
+    base_seconds_ = t;
+    offset_seconds_ = 0;
+    set_state(kClockService, "Time", std::to_string(time_seconds()));
+    return respond_with(req);
+  });
+  on_action(kClockService, "GetDate", [this](const ActionRequest& req) {
+    return respond_with(req, {{"CurrentDate", std::to_string(time_seconds() / 86400)}});
+  });
+  on_action(kClockService, "SetDate", [this](const ActionRequest& req) {
+    auto it = req.args.find("NewDate");
+    std::uint64_t d = 0;
+    if (it == req.args.end() || !strings::parse_u64(it->second, d)) {
+      return Result<ActionResponse>(make_error(Errc::invalid_argument, "NewDate must be days"));
+    }
+    base_seconds_ = d * 86400 + time_seconds() % 86400;
+    offset_seconds_ = 0;
+    set_state(kClockService, "Date", std::to_string(d));
+    return respond_with(req);
+  });
+  on_action(kClockService, "SetAlarm", [this](const ActionRequest& req) {
+    auto it = req.args.find("AlarmTime");
+    std::uint64_t t = 0;
+    if (it == req.args.end() || !strings::parse_u64(it->second, t)) {
+      return Result<ActionResponse>(make_error(Errc::invalid_argument, "AlarmTime must be seconds"));
+    }
+    alarm_at_ = t;
+    set_state(kClockService, "AlarmArmed", "1");
+    return respond_with(req);
+  });
+  on_action(kClockService, "CancelAlarm", [this](const ActionRequest& req) {
+    alarm_at_.reset();
+    set_state(kClockService, "AlarmArmed", "0");
+    return respond_with(req);
+  });
+  on_action(kClockService, "StartTimer", [this](const ActionRequest& req) {
+    timer_running_ = true;
+    timer_started_at_ = time_seconds();
+    set_state(kClockService, "TimerRunning", "1");
+    return respond_with(req);
+  });
+  on_action(kClockService, "StopTimer", [this](const ActionRequest& req) {
+    timer_running_ = false;
+    set_state(kClockService, "TimerRunning", "0");
+    return respond_with(req, {{"Elapsed", std::to_string(time_seconds() - timer_started_at_)}});
+  });
+  on_action(kClockService, "SetTimeZone", [this](const ActionRequest& req) {
+    auto it = req.args.find("TimeZone");
+    if (it == req.args.end() || it->second.empty()) {
+      return Result<ActionResponse>(make_error(Errc::invalid_argument, "TimeZone required"));
+    }
+    timezone_ = it->second;
+    set_state(kClockService, "TimeZone", timezone_);
+    return respond_with(req);
+  });
+}
+
+void ClockDevice::tick(std::uint64_t seconds) {
+  offset_seconds_ += seconds;
+  set_state(kClockService, "Time", std::to_string(time_seconds()));
+  if (alarm_at_ && time_seconds() >= *alarm_at_) {
+    alarm_at_.reset();
+    set_state(kClockService, "AlarmArmed", "0");
+  }
+}
+
+// --- AirConditioner -------------------------------------------------------------------
+
+AirConditioner::AirConditioner(net::Network& net, std::string host, std::uint16_t port,
+                               std::string friendly_name)
+    : UpnpDevice(net, std::move(host), port,
+                 make_description(
+                     kAirConditionerType, std::move(friendly_name),
+                     {ServiceDescription{kHvacService, "urn:upnp-org:serviceId:HVAC", "", "",
+                                         {"SetTargetTemperature", "GetTemperature", "SetMode"},
+                                         {"CurrentTemperature", "Mode"}}})) {
+  on_action(kHvacService, "SetTargetTemperature", [this](const ActionRequest& req) {
+    auto it = req.args.find("Target");
+    std::uint64_t t = 0;
+    if (it == req.args.end() || !strings::parse_u64(it->second, t) || t < 10 || t > 35) {
+      return Result<ActionResponse>(
+          make_error(Errc::invalid_argument, "Target must be 10..35 Celsius"));
+    }
+    target_c_ = static_cast<int>(t);
+    return respond_with(req);
+  });
+  on_action(kHvacService, "GetTemperature", [this](const ActionRequest& req) {
+    return respond_with(req, {{"Current", std::to_string(current_c_)},
+                              {"Target", std::to_string(target_c_)}});
+  });
+  on_action(kHvacService, "SetMode", [this](const ActionRequest& req) {
+    auto it = req.args.find("Mode");
+    if (it == req.args.end() ||
+        (it->second != "Off" && it->second != "Cool" && it->second != "Heat" &&
+         it->second != "Fan")) {
+      return Result<ActionResponse>(make_error(Errc::invalid_argument, "bad Mode"));
+    }
+    mode_ = it->second;
+    set_state(kHvacService, "Mode", mode_);
+    return respond_with(req);
+  });
+}
+
+void AirConditioner::drift() {
+  if (mode_ == "Off") return;
+  if (current_c_ < target_c_) {
+    ++current_c_;
+  } else if (current_c_ > target_c_) {
+    --current_c_;
+  }
+  set_state(kHvacService, "CurrentTemperature", std::to_string(current_c_));
+}
+
+// --- MediaRendererTv --------------------------------------------------------------------
+
+MediaRendererTv::MediaRendererTv(net::Network& net, std::string host, std::uint16_t port,
+                                 std::string friendly_name)
+    : UpnpDevice(net, std::move(host), port,
+                 make_description(kMediaRendererType, std::move(friendly_name),
+                                  {ServiceDescription{kRenderingService,
+                                                      "urn:upnp-org:serviceId:RenderingControl",
+                                                      "", "",
+                                                      {"RenderImage", "GetLastRendered"},
+                                                      {"LastRendered"}}})) {
+  on_action(kRenderingService, "RenderImage", [this](const ActionRequest& req) {
+    auto data = req.args.find("ImageData");
+    if (data == req.args.end()) {
+      return Result<ActionResponse>(make_error(Errc::invalid_argument, "ImageData required"));
+    }
+    auto bytes = base64::decode(data->second);
+    if (!bytes.ok()) {
+      return Result<ActionResponse>(make_error(Errc::invalid_argument, "ImageData not base64"));
+    }
+    auto name = req.args.find("Name");
+    rendered_.push_back(Rendered{name != req.args.end() ? name->second : "untitled",
+                                 bytes.value().size()});
+    set_state(kRenderingService, "LastRendered", rendered_.back().name);
+    return respond_with(req);
+  });
+  on_action(kRenderingService, "GetLastRendered", [this](const ActionRequest& req) {
+    return respond_with(
+        req, {{"Name", rendered_.empty() ? std::string() : rendered_.back().name},
+              {"Count", std::to_string(rendered_.size())}});
+  });
+}
+
+}  // namespace umiddle::upnp

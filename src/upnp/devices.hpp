@@ -1,0 +1,95 @@
+// The emulated UPnP devices used throughout the paper's evaluation and
+// applications: BinaryLight (§3.4, §5.2), Clock (Fig. 10's 14-port outlier),
+// AirConditioner (Fig. 10), and the MediaRenderer TV (§1, §4.2).
+#pragma once
+
+#include <optional>
+
+#include "upnp/device.hpp"
+
+namespace umiddle::upnp {
+
+inline const char* kSwitchPowerService = "urn:schemas-upnp-org:service:SwitchPower:1";
+inline const char* kClockService = "urn:schemas-upnp-org:service:ClockService:1";
+inline const char* kHvacService = "urn:schemas-upnp-org:service:HVAC_FanOperatingMode:1";
+inline const char* kRenderingService = "urn:schemas-upnp-org:service:RenderingControl:1";
+
+inline const char* kBinaryLightType = "urn:schemas-upnp-org:device:BinaryLight:1";
+inline const char* kClockType = "urn:schemas-upnp-org:device:Clock:1";
+inline const char* kAirConditionerType = "urn:schemas-upnp-org:device:AirConditioner:1";
+inline const char* kMediaRendererType = "urn:schemas-upnp-org:device:MediaRenderer:1";
+
+/// Binary light: SetPower/GetStatus, evented Status variable.
+class BinaryLight : public UpnpDevice {
+ public:
+  BinaryLight(net::Network& net, std::string host, std::uint16_t port = 8000,
+              std::string friendly_name = "Light");
+
+  bool is_on() const { return on_; }
+  std::uint64_t switch_count() const { return switch_count_; }
+
+ private:
+  bool on_ = false;
+  std::uint64_t switch_count_ = 0;
+};
+
+/// Clock: the paper's expensive device — a rich service whose translator has
+/// fourteen ports plus two hierarchy entities.
+class ClockDevice : public UpnpDevice {
+ public:
+  ClockDevice(net::Network& net, std::string host, std::uint16_t port = 8000,
+              std::string friendly_name = "Clock");
+
+  /// Current simulated wall time, seconds since device start.
+  std::uint64_t time_seconds() const { return base_seconds_ + offset_seconds_; }
+  bool alarm_armed() const { return alarm_at_.has_value(); }
+
+  /// Advance the clock (examples drive this from the scheduler).
+  void tick(std::uint64_t seconds);
+
+ private:
+  std::uint64_t base_seconds_ = 0;
+  std::uint64_t offset_seconds_ = 0;
+  std::optional<std::uint64_t> alarm_at_;
+  std::string timezone_ = "UTC";
+  bool timer_running_ = false;
+  std::uint64_t timer_started_at_ = 0;
+};
+
+/// Air conditioner: target temperature + mode, evented current temperature.
+class AirConditioner : public UpnpDevice {
+ public:
+  AirConditioner(net::Network& net, std::string host, std::uint16_t port = 8000,
+                 std::string friendly_name = "AirConditioner");
+
+  int target_temperature() const { return target_c_; }
+  int current_temperature() const { return current_c_; }
+  const std::string& mode() const { return mode_; }
+
+  /// Drift current temperature one degree toward the target (examples drive).
+  void drift();
+
+ private:
+  int target_c_ = 24;
+  int current_c_ = 28;
+  std::string mode_ = "Off";
+};
+
+/// MediaRenderer TV: accepts images to display via a RenderImage action
+/// (payload base64 in the SOAP argument), evented LastRendered variable.
+class MediaRendererTv : public UpnpDevice {
+ public:
+  MediaRendererTv(net::Network& net, std::string host, std::uint16_t port = 8000,
+                  std::string friendly_name = "MediaRenderer TV");
+
+  struct Rendered {
+    std::string name;
+    std::size_t bytes;
+  };
+  const std::vector<Rendered>& rendered() const { return rendered_; }
+
+ private:
+  std::vector<Rendered> rendered_;
+};
+
+}  // namespace umiddle::upnp

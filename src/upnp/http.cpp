@@ -1,0 +1,225 @@
+#include "upnp/http.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace umiddle::upnp {
+namespace {
+
+std::string find_header(const std::map<std::string, std::string>& headers,
+                        std::string_view name) {
+  auto it = headers.find(strings::to_lower(name));
+  return it == headers.end() ? std::string() : it->second;
+}
+
+void write_headers(std::string& out, const std::map<std::string, std::string>& headers,
+                   std::size_t body_size) {
+  for (const auto& [k, v] : headers) out += k + ": " + v + "\r\n";
+  if (headers.count("content-length") == 0) {
+    out += "content-length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+
+}  // namespace
+
+std::string HttpRequest::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+std::string HttpRequest::to_string() const {
+  std::string out = method + " " + path + " HTTP/1.1\r\n";
+  write_headers(out, headers, body.size());
+  out += body;
+  return out;
+}
+
+std::string HttpResponse::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+std::string HttpResponse::to_string() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  write_headers(out, headers, body.size());
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::make(int status, std::string reason, std::string body,
+                                std::string content_type) {
+  HttpResponse r;
+  r.status = status;
+  r.reason = std::move(reason);
+  r.body = std::move(body);
+  if (!r.body.empty()) r.headers["content-type"] = std::move(content_type);
+  return r;
+}
+
+Result<bool> HttpParser::feed(std::span<const std::uint8_t> chunk) {
+  if (complete_) return true;
+  buffer_.append(reinterpret_cast<const char*>(chunk.data()), chunk.size());
+  return try_parse();
+}
+
+void HttpParser::reset() {
+  buffer_.clear();
+  headers_done_ = false;
+  body_expected_ = 0;
+  body_start_ = 0;
+  complete_ = false;
+  request_ = HttpRequest{};
+  response_ = HttpResponse{};
+}
+
+Result<bool> HttpParser::try_parse() {
+  if (!headers_done_) {
+    std::size_t end = buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) return false;
+    std::string head = buffer_.substr(0, end);
+    body_start_ = end + 4;
+
+    auto lines = strings::split(head, "\r\n");
+    if (lines.empty()) return make_error(Errc::parse_error, "http: empty header block");
+    auto first = strings::split(lines[0], ' ');
+    if (kind_ == Kind::request) {
+      if (first.size() < 3) {
+        return make_error(Errc::parse_error, "http: bad request line: " + lines[0]);
+      }
+      request_.method = first[0];
+      request_.path = first[1];
+    } else {
+      if (first.size() < 2 || !strings::starts_with(first[0], "HTTP/")) {
+        return make_error(Errc::parse_error, "http: bad status line: " + lines[0]);
+      }
+      std::uint64_t status = 0;
+      if (!strings::parse_u64(first[1], status)) {
+        return make_error(Errc::parse_error, "http: bad status code: " + lines[0]);
+      }
+      response_.status = static_cast<int>(status);
+      response_.reason = first.size() > 2 ? std::string(first[2]) : "";
+    }
+    auto& headers = kind_ == Kind::request ? request_.headers : response_.headers;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      std::size_t colon = lines[i].find(':');
+      if (colon == std::string::npos) {
+        return make_error(Errc::parse_error, "http: bad header line: " + lines[i]);
+      }
+      headers[strings::to_lower(strings::trim(lines[i].substr(0, colon)))] =
+          std::string(strings::trim(lines[i].substr(colon + 1)));
+    }
+    std::uint64_t length = 0;
+    (void)strings::parse_u64(find_header(headers, "content-length"), length);
+    body_expected_ = length;
+    headers_done_ = true;
+  }
+  if (buffer_.size() < body_start_ + body_expected_) return false;
+  std::string body = buffer_.substr(body_start_, body_expected_);
+  if (kind_ == Kind::request) {
+    request_.body = std::move(body);
+  } else {
+    response_.body = std::move(body);
+  }
+  complete_ = true;
+  return true;
+}
+
+HttpServer::HttpServer(net::Network& net, std::string host, std::uint16_t port)
+    : net_(net), host_(std::move(host)), port_(port) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+Result<void> HttpServer::start() {
+  if (started_) return ok_result();
+  auto r = net_.listen({host_, port_},
+                       [this](net::StreamPtr stream) { serve(std::move(stream)); });
+  if (!r.ok()) return r;
+  started_ = true;
+  return ok_result();
+}
+
+void HttpServer::stop() {
+  if (!started_) return;
+  net_.stop_listening({host_, port_});
+  started_ = false;
+}
+
+void HttpServer::route(std::string path, HttpHandler handler) {
+  exact_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::route_prefix(std::string prefix, HttpHandler handler) {
+  prefixes_[std::move(prefix)] = std::move(handler);
+}
+
+void HttpServer::serve(net::StreamPtr stream) {
+  auto parser = std::make_shared<HttpParser>(HttpParser::Kind::request);
+  net::Stream* raw = stream.get();
+  stream->on_data([this, parser, raw, keep = stream](std::span<const std::uint8_t> chunk) {
+    auto done = parser->feed(chunk);
+    if (!done.ok()) {
+      (void)raw->send(HttpResponse::make(400, "Bad Request").to_string());
+      raw->close();
+      return;
+    }
+    if (!done.value()) return;
+    const HttpRequest& req = parser->request();
+    RespondFn respond = [raw, keep](HttpResponse resp) {
+      (void)raw->send(resp.to_string());
+      raw->close();
+    };
+    auto exact = exact_.find(req.path);
+    if (exact != exact_.end()) {
+      exact->second(req, std::move(respond));
+      return;
+    }
+    const HttpHandler* best = nullptr;
+    std::size_t best_len = 0;
+    for (const auto& [prefix, handler] : prefixes_) {
+      if (strings::starts_with(req.path, prefix) && prefix.size() >= best_len) {
+        best = &handler;
+        best_len = prefix.size();
+      }
+    }
+    if (best != nullptr) {
+      (*best)(req, std::move(respond));
+    } else {
+      respond(HttpResponse::make(404, "Not Found"));
+    }
+  });
+}
+
+void http_fetch(net::Network& net, const std::string& from_host, const Uri& uri,
+                HttpRequest request, HttpResultFn done) {
+  auto stream = net.connect(from_host, {uri.host, uri.effective_port()});
+  if (!stream.ok()) {
+    done(stream.error());
+    return;
+  }
+  net::StreamPtr s = stream.value();
+  request.headers["host"] = uri.host;
+  auto parser = std::make_shared<HttpParser>(HttpParser::Kind::response);
+  auto finished = std::make_shared<bool>(false);
+  auto done_ptr = std::make_shared<HttpResultFn>(std::move(done));
+  s->on_connected([s, text = request.to_string()]() { (void)s->send(text); });
+  s->on_data([parser, finished, done_ptr, s](std::span<const std::uint8_t> chunk) {
+    if (*finished) return;
+    auto complete = parser->feed(chunk);
+    if (!complete.ok()) {
+      *finished = true;
+      (*done_ptr)(complete.error());
+      s->close();
+      return;
+    }
+    if (!complete.value()) return;
+    *finished = true;
+    (*done_ptr)(parser->response());
+    s->close();
+  });
+  s->on_close([finished, done_ptr]() {
+    if (*finished) return;
+    *finished = true;
+    (*done_ptr)(make_error(Errc::disconnected, "http: connection closed before response"));
+  });
+}
+
+}  // namespace umiddle::upnp

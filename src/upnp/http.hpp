@@ -1,0 +1,114 @@
+// Minimal HTTP/1.1 over netsim streams — the base protocol of UPnP:
+// device descriptions are fetched with GET, control is SOAP-over-POST,
+// and GENA eventing uses SUBSCRIBE/UNSUBSCRIBE/NOTIFY methods.
+//
+// Model: one request per connection (Connection: close), bodies delimited by
+// Content-Length. That matches how 2006-era UPnP stacks behaved in practice.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/uri.hpp"
+#include "netsim/stream.hpp"
+
+namespace umiddle::upnp {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  std::map<std::string, std::string> headers;  ///< names lower-cased
+  std::string body;
+
+  std::string header(std::string_view name) const;
+  std::string to_string() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string header(std::string_view name) const;
+  std::string to_string() const;
+
+  static HttpResponse make(int status, std::string reason, std::string body = "",
+                           std::string content_type = "text/xml");
+};
+
+/// Incremental parser for either messages of an HTTP exchange.
+class HttpParser {
+ public:
+  enum class Kind { request, response };
+  explicit HttpParser(Kind kind) : kind_(kind) {}
+
+  /// Feed stream bytes. Returns true once the full message is available.
+  Result<bool> feed(std::span<const std::uint8_t> chunk);
+
+  const HttpRequest& request() const { return request_; }
+  const HttpResponse& response() const { return response_; }
+  /// Reset to parse the next message on the same connection.
+  void reset();
+
+ private:
+  Result<bool> try_parse();
+
+  Kind kind_;
+  std::string buffer_;
+  bool headers_done_ = false;
+  std::size_t body_expected_ = 0;
+  std::size_t body_start_ = 0;
+  bool complete_ = false;
+  HttpRequest request_;
+  HttpResponse response_;
+};
+
+/// Asynchronous request handler: call `respond` exactly once, possibly after
+/// scheduling virtual-time work (device actuation, SOAP unmarshalling).
+using RespondFn = std::function<void(HttpResponse)>;
+using HttpHandler = std::function<void(const HttpRequest& request, RespondFn respond)>;
+
+/// Wrap a synchronous handler.
+inline HttpHandler sync_handler(std::function<HttpResponse(const HttpRequest&)> fn) {
+  return [fn = std::move(fn)](const HttpRequest& req, RespondFn respond) { respond(fn(req)); };
+}
+
+/// One-listener HTTP server. Dispatch is by exact path first, then by the
+/// longest registered prefix (for per-device trees like /device/<udn>/...).
+class HttpServer {
+ public:
+  HttpServer(net::Network& net, std::string host, std::uint16_t port);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  Result<void> start();
+  void stop();
+
+  void route(std::string path, HttpHandler handler);
+  void route_prefix(std::string prefix, HttpHandler handler);
+
+  const std::string& host() const { return host_; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve(net::StreamPtr stream);
+
+  net::Network& net_;
+  std::string host_;
+  std::uint16_t port_;
+  bool started_ = false;
+  std::map<std::string, HttpHandler> exact_;
+  std::map<std::string, HttpHandler> prefixes_;
+};
+
+/// Fire one HTTP request; the callback receives the response or an error.
+using HttpResultFn = std::function<void(Result<HttpResponse>)>;
+void http_fetch(net::Network& net, const std::string& from_host, const Uri& uri,
+                HttpRequest request, HttpResultFn done);
+
+}  // namespace umiddle::upnp

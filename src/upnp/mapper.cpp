@@ -1,0 +1,210 @@
+#include "upnp/mapper.hpp"
+
+#include "common/base64.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace umiddle::upnp {
+
+// --- UpnpTranslator -----------------------------------------------------------------
+
+UpnpTranslator::UpnpTranslator(UpnpMapper& mapper, DeviceDescription description,
+                               const core::UsdlService& usdl)
+    : Translator(description.friendly_name, "upnp", description.device_type, usdl.shape),
+      mapper_(mapper), description_(std::move(description)), usdl_(usdl) {
+  set_hierarchy_entities(usdl.hierarchy_entities);
+}
+
+UpnpTranslator::~UpnpTranslator() { *alive_ = false; }
+
+const ServiceDescription* UpnpTranslator::service_for(const core::UsdlNative& native) const {
+  std::string slug = native.attr("service");
+  for (const ServiceDescription& svc : description_.services) {
+    if (svc.service_type.find(":service:" + slug + ":") != std::string::npos) return &svc;
+  }
+  return nullptr;
+}
+
+std::string UpnpTranslator::resolve_arg(const std::string& value,
+                                        const core::Message& msg) const {
+  if (value == "$body") return msg.body_text();
+  if (value == "$body64") return base64::encode(msg.payload);
+  if (strings::starts_with(value, "$meta:")) {
+    auto it = msg.meta.find(value.substr(6));
+    return it == msg.meta.end() ? std::string() : it->second;
+  }
+  return value;
+}
+
+Result<void> UpnpTranslator::deliver(const std::string& port, const core::Message& msg) {
+  if (profile().shape.find(port) == nullptr) {
+    return make_error(Errc::not_found, "no such port: " + port);
+  }
+  queue_.push_back(Work{port, msg});
+  process_next();
+  return ok_result();
+}
+
+bool UpnpTranslator::ready(const std::string&) const { return !busy_ && queue_.empty(); }
+
+void UpnpTranslator::process_next() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  Work work = std::move(queue_.front());
+  queue_.pop_front();
+
+  const core::UsdlBinding* action_binding = nullptr;
+  for (const core::UsdlBinding* b : usdl_.bindings_for(work.port)) {
+    if (b->kind == "action") {
+      action_binding = b;
+      break;
+    }
+  }
+  if (action_binding == nullptr) {
+    log::Entry(log::Level::warn, "upnp") << "no action binding for port " << work.port
+                                         << " on " << profile().name;
+    busy_ = false;
+    process_next();
+    return;
+  }
+  // Translate the uMiddle message into a UPnP action object (uMiddle-side
+  // cost in the paper's §5.2 split), then invoke over SOAP.
+  mapper_.runtime().scheduler().schedule_after(
+      mapper_.costs().action_translate,
+      [this, alive = alive_, binding = action_binding, msg = std::move(work.msg)]() {
+        if (!*alive) return;
+        run_binding(*binding, msg);
+      });
+}
+
+void UpnpTranslator::run_binding(const core::UsdlBinding& binding, const core::Message& msg) {
+  const ServiceDescription* svc = service_for(binding.native);
+  if (svc == nullptr) {
+    log::Entry(log::Level::warn, "upnp")
+        << "device " << profile().name << " lacks service " << binding.native.attr("service");
+    busy_ = false;
+    process_next();
+    return;
+  }
+  ActionRequest request;
+  request.service_type = svc->service_type;
+  request.action = binding.native.attr("action");
+  for (const core::UsdlArg& arg : binding.native.args) {
+    request.args[arg.name] = resolve_arg(arg.value, msg);
+  }
+  native_started_ = mapper_.runtime().scheduler().now();
+  std::string emit_port = binding.emit_port;
+  std::string emit_arg = binding.native.attr("emit-arg");
+  mapper_.control_point().invoke(
+      svc->control_url, std::move(request),
+      [this, alive = alive_, emit_port, emit_arg](Result<ActionResponse> result) {
+        if (!*alive) return;
+        last_native_duration_ = mapper_.runtime().scheduler().now() - native_started_;
+        if (!result.ok()) {
+          log::Entry(log::Level::warn, "upnp")
+              << "action failed on " << profile().name << ": " << result.error().to_string();
+        } else if (!emit_port.empty() && mapped()) {
+          const core::PortSpec* spec = profile().shape.find(emit_port);
+          std::string value;
+          if (!emit_arg.empty()) {
+            auto it = result.value().args.find(emit_arg);
+            if (it != result.value().args.end()) value = it->second;
+          }
+          if (spec != nullptr) {
+            (void)emit(emit_port, core::Message::text(spec->type, value));
+          }
+        }
+        busy_ = false;
+        if (mapped()) runtime()->notify_ready(profile().id);
+        process_next();
+      });
+}
+
+void UpnpTranslator::on_mapped() {
+  // Subscribe once per service that has event bindings; fan events out to the
+  // bound output ports.
+  std::set<std::string> subscribed;
+  for (const core::UsdlBinding& binding : usdl_.bindings) {
+    if (binding.kind != "event") continue;
+    const ServiceDescription* svc = service_for(binding.native);
+    if (svc == nullptr || subscribed.count(svc->service_type) != 0) continue;
+    subscribed.insert(svc->service_type);
+    std::string service_type = svc->service_type;
+    subscription_tokens_.push_back(mapper_.control_point().subscribe(
+        svc->event_sub_url, [this, alive = alive_, service_type](const PropertySet& set) {
+          if (!*alive || !mapped()) return;
+          for (const auto& [var, value] : set.properties) {
+            for (const core::UsdlBinding& b : usdl_.bindings) {
+              if (b.kind != "event" || b.native.attr("var") != var) continue;
+              const core::PortSpec* spec = profile().shape.find(b.port);
+              if (spec == nullptr) continue;
+              (void)emit(b.port, core::Message::text(spec->type, value));
+            }
+          }
+        }));
+  }
+}
+
+void UpnpTranslator::on_unmapped() {
+  for (const std::string& token : subscription_tokens_) {
+    mapper_.control_point().drop_subscription(token);
+  }
+  subscription_tokens_.clear();
+}
+
+// --- UpnpMapper -----------------------------------------------------------------------
+
+UpnpMapper::UpnpMapper(const core::UsdlLibrary& library, std::uint16_t callback_port,
+                       UpnpCosts costs)
+    : Mapper("upnp"), library_(library), callback_port_(callback_port), costs_(costs) {}
+
+UpnpMapper::~UpnpMapper() = default;
+
+void UpnpMapper::start(core::Runtime& runtime) {
+  runtime_ = &runtime;
+  control_point_ = std::make_unique<ControlPoint>(runtime.network(), runtime.host(),
+                                                  callback_port_, costs_);
+  control_point_->on_device(
+      [this](const DeviceDescription& d, const std::string& l) { handle_device(d, l); });
+  control_point_->on_device_gone([this](const std::string& udn) { handle_device_gone(udn); });
+  if (auto r = control_point_->start(); !r.ok()) {
+    log::Entry(log::Level::error, "upnp") << "control point failed: " << r.error().to_string();
+    return;
+  }
+  (void)control_point_->search();
+}
+
+void UpnpMapper::stop() {
+  if (control_point_) control_point_->stop();
+}
+
+void UpnpMapper::handle_device(const DeviceDescription& description,
+                               const std::string& location) {
+  if (runtime_ == nullptr || by_udn_.count(description.udn) != 0) return;
+  const core::UsdlService* usdl = library_.find("upnp", description.device_type);
+  if (usdl == nullptr) {
+    log::Entry(log::Level::info, "upnp")
+        << "no USDL for device type " << description.device_type << " (" << location
+        << "); not bridged";
+    return;
+  }
+  std::string udn = description.udn;
+  auto translator = std::make_unique<UpnpTranslator>(*this, description, *usdl);
+  runtime_->instantiate(std::move(translator), [this, udn](Result<TranslatorId> r) {
+    if (!r.ok()) {
+      log::Entry(log::Level::warn, "upnp") << "instantiate failed: " << r.error().to_string();
+      return;
+    }
+    by_udn_[udn] = r.value();
+    log::Entry(log::Level::info, "upnp") << "mapped UPnP device " << udn;
+  });
+}
+
+void UpnpMapper::handle_device_gone(const std::string& udn) {
+  auto it = by_udn_.find(udn);
+  if (it == by_udn_.end() || runtime_ == nullptr) return;
+  (void)runtime_->unmap(it->second);
+  by_udn_.erase(it);
+}
+
+}  // namespace umiddle::upnp

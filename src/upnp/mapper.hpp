@@ -1,0 +1,101 @@
+// The UPnP mapper and its generic, USDL-parameterized translator (paper §3.2,
+// §3.4: "it is possible to create a generic translator for the UPnP platform
+// which is then mechanically parameterized for any given UPnP device by a USDL
+// document describing that device").
+//
+// USDL binding kinds understood by this mapper:
+//   kind="action" — an input-port message invokes a SOAP action. Args may be
+//       literals, "$body" (payload as text), "$body64" (payload base64) or
+//       "$meta:<key>" (message metadata). With emit="<port>" and
+//       emit-arg="<OutArg>" the response argument is emitted from that port.
+//   kind="event"  — a GENA state-variable change (native attr var="...") is
+//       emitted from the binding's (output) port.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/umiddle.hpp"
+#include "upnp/control_point.hpp"
+
+namespace umiddle::upnp {
+
+class UpnpMapper;
+
+/// Generic UPnP translator, parameterized by a USDL service description.
+class UpnpTranslator final : public core::Translator {
+ public:
+  UpnpTranslator(UpnpMapper& mapper, DeviceDescription description,
+                 const core::UsdlService& usdl);
+
+  ~UpnpTranslator() override;
+
+  Result<void> deliver(const std::string& port, const core::Message& msg) override;
+  bool ready(const std::string& port) const override;
+  void on_mapped() override;
+  void on_unmapped() override;
+
+  /// Virtual time the last completed action spent in the UPnP domain
+  /// (SOAP POST dispatch → response parsed); the §5.2 bench reads this.
+  sim::Duration last_native_duration() const { return last_native_duration_; }
+  const DeviceDescription& device() const { return description_; }
+
+ private:
+  struct Work {
+    std::string port;
+    core::Message msg;
+  };
+
+  void process_next();
+  void run_binding(const core::UsdlBinding& binding, const core::Message& msg);
+  std::string resolve_arg(const std::string& value, const core::Message& msg) const;
+  const ServiceDescription* service_for(const core::UsdlNative& native) const;
+
+  UpnpMapper& mapper_;
+  DeviceDescription description_;
+  const core::UsdlService& usdl_;
+  std::deque<Work> queue_;
+  bool busy_ = false;
+  sim::TimePoint native_started_{};
+  sim::Duration last_native_duration_{0};
+  /// Guards async callbacks (SOAP responses, GENA events) against use after
+  /// the translator is unmapped and destroyed.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  std::vector<std::string> subscription_tokens_;
+};
+
+/// Discovers UPnP devices via SSDP, fetches their descriptions, and imports
+/// them as translators using the USDL library.
+class UpnpMapper final : public core::Mapper {
+ public:
+  explicit UpnpMapper(const core::UsdlLibrary& library, std::uint16_t callback_port = 7902,
+                      UpnpCosts costs = {});
+  ~UpnpMapper() override;
+
+  void start(core::Runtime& runtime) override;
+  void stop() override;
+
+  // --- base-protocol support used by translators -------------------------------
+  ControlPoint& control_point() { return *control_point_; }
+  core::Runtime& runtime() { return *runtime_; }
+  const UpnpCosts& costs() const { return costs_; }
+
+  std::size_t mapped_count() const { return by_udn_.size(); }
+
+ private:
+  void handle_device(const DeviceDescription& description, const std::string& location);
+  void handle_device_gone(const std::string& udn);
+
+  const core::UsdlLibrary& library_;
+  std::uint16_t callback_port_;
+  UpnpCosts costs_;
+  core::Runtime* runtime_ = nullptr;
+  std::unique_ptr<ControlPoint> control_point_;
+  std::map<std::string, TranslatorId> by_udn_;
+};
+
+/// Register the built-in USDL documents for the emulated UPnP devices
+/// (BinaryLight, Clock, AirConditioner, MediaRenderer TV).
+void register_upnp_usdl(core::UsdlLibrary& library);
+
+}  // namespace umiddle::upnp

@@ -1,0 +1,65 @@
+// SSDP — Simple Service Discovery Protocol (UPnP's discovery layer).
+//
+// HTTP-like messages over multicast UDP on port 1900:
+//   NOTIFY ssdp:alive / ssdp:byebye — unsolicited device announcements;
+//   M-SEARCH — active search; devices answer with a unicast 200 OK after a
+//   random delay within MX seconds (we use a deterministic per-device delay).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netsim/network.hpp"
+#include "sim/scheduler.hpp"
+
+namespace umiddle::upnp {
+
+constexpr std::uint16_t kSsdpPort = 1900;
+inline const char* kSsdpGroup = "ssdp:239.255.255.250";
+
+/// One discovery event: a device announcing itself or answering a search.
+struct SsdpAnnouncement {
+  std::string notification_type;  ///< NT / ST, e.g. a device type URN
+  std::string usn;                ///< unique service name, e.g. "uuid:...::urn:..."
+  std::string location;           ///< URL of the device description document
+  bool alive = true;              ///< false for ssdp:byebye
+};
+
+/// Both halves of SSDP; devices use announce/byebye + search responses,
+/// control points use search() and the announcement callback.
+class SsdpAgent {
+ public:
+  using AnnouncementFn = std::function<void(const SsdpAnnouncement&)>;
+
+  SsdpAgent(net::Network& net, std::string host);
+  ~SsdpAgent();
+  SsdpAgent(const SsdpAgent&) = delete;
+  SsdpAgent& operator=(const SsdpAgent&) = delete;
+
+  Result<void> start();
+  void stop();
+
+  /// Control-point side: called for alive/byebye notifies and search replies.
+  void on_announcement(AnnouncementFn fn) { on_announcement_ = std::move(fn); }
+  /// Multicast an M-SEARCH for the given search target ("ssdp:all" or a URN).
+  Result<void> search(const std::string& target, int mx_seconds = 2);
+
+  /// Device side: register something to be announced and answered for.
+  void advertise(SsdpAnnouncement announcement);
+  /// Multicast ssdp:byebye and stop answering for this USN.
+  void withdraw(const std::string& usn);
+
+ private:
+  void handle_datagram(const net::Endpoint& from, const Bytes& payload);
+  void send_notify(const SsdpAnnouncement& a, bool alive);
+  void answer_search(const net::Endpoint& to, const SsdpAnnouncement& a);
+
+  net::Network& net_;
+  std::string host_;
+  bool started_ = false;
+  std::vector<SsdpAnnouncement> advertised_;
+  AnnouncementFn on_announcement_;
+};
+
+}  // namespace umiddle::upnp

@@ -1,0 +1,152 @@
+// Built-in USDL documents for the emulated UPnP device types.
+//
+// The clock description deliberately yields fourteen ports plus two hierarchy
+// entities — the configuration whose instantiation cost dominates the paper's
+// Fig. 10 ("the translator for a UPnP clock device contains fourteen ports and
+// two more uMiddle entities for the UPnP service/device hierarchy").
+#include "upnp/mapper.hpp"
+
+namespace umiddle::upnp {
+namespace {
+
+constexpr const char* kLightUsdl = R"USDL(
+<usdl version="1">
+  <service platform="upnp" match="urn:schemas-upnp-org:device:BinaryLight:1" name="UPnP Light">
+    <shape>
+      <digital-port name="power-on" direction="input" mime="application/x-upnp-control"
+                    description="switch the light on (payload ignored)"/>
+      <digital-port name="power-off" direction="input" mime="application/x-upnp-control"
+                    description="switch the light off (payload ignored)"/>
+      <physical-port name="glow" direction="output" tag="visible/light"/>
+    </shape>
+    <bindings>
+      <binding port="power-on" kind="action">
+        <native service="SwitchPower" action="SetPower"><arg name="Power" value="1"/></native>
+      </binding>
+      <binding port="power-off" kind="action">
+        <native service="SwitchPower" action="SetPower"><arg name="Power" value="0"/></native>
+      </binding>
+    </bindings>
+  </service>
+</usdl>)USDL";
+
+constexpr const char* kClockUsdl = R"USDL(
+<usdl version="1">
+  <service platform="upnp" match="urn:schemas-upnp-org:device:Clock:1" name="UPnP Clock">
+    <hierarchy entities="2"/>
+    <shape>
+      <digital-port name="get-time" direction="input" mime="application/x-upnp-control"/>
+      <digital-port name="set-time" direction="input" mime="text/plain"/>
+      <digital-port name="get-date" direction="input" mime="application/x-upnp-control"/>
+      <digital-port name="set-date" direction="input" mime="text/plain"/>
+      <digital-port name="set-alarm" direction="input" mime="text/plain"/>
+      <digital-port name="cancel-alarm" direction="input" mime="application/x-upnp-control"/>
+      <digital-port name="start-timer" direction="input" mime="application/x-upnp-control"/>
+      <digital-port name="stop-timer" direction="input" mime="application/x-upnp-control"/>
+      <digital-port name="set-timezone" direction="input" mime="text/plain"/>
+      <digital-port name="time-out" direction="output" mime="text/plain"/>
+      <digital-port name="date-out" direction="output" mime="text/plain"/>
+      <digital-port name="elapsed-out" direction="output" mime="text/plain"/>
+      <digital-port name="alarm-armed-out" direction="output" mime="text/plain"/>
+      <physical-port name="face" direction="output" tag="visible/display"/>
+    </shape>
+    <bindings>
+      <binding port="get-time" kind="action" emit="time-out">
+        <native service="ClockService" action="GetTime" emit-arg="CurrentTime"/>
+      </binding>
+      <binding port="set-time" kind="action">
+        <native service="ClockService" action="SetTime"><arg name="NewTime" value="$body"/></native>
+      </binding>
+      <binding port="get-date" kind="action" emit="date-out">
+        <native service="ClockService" action="GetDate" emit-arg="CurrentDate"/>
+      </binding>
+      <binding port="set-date" kind="action">
+        <native service="ClockService" action="SetDate"><arg name="NewDate" value="$body"/></native>
+      </binding>
+      <binding port="set-alarm" kind="action">
+        <native service="ClockService" action="SetAlarm"><arg name="AlarmTime" value="$body"/></native>
+      </binding>
+      <binding port="cancel-alarm" kind="action">
+        <native service="ClockService" action="CancelAlarm"/>
+      </binding>
+      <binding port="start-timer" kind="action">
+        <native service="ClockService" action="StartTimer"/>
+      </binding>
+      <binding port="stop-timer" kind="action" emit="elapsed-out">
+        <native service="ClockService" action="StopTimer" emit-arg="Elapsed"/>
+      </binding>
+      <binding port="set-timezone" kind="action">
+        <native service="ClockService" action="SetTimeZone"><arg name="TimeZone" value="$body"/></native>
+      </binding>
+      <binding port="alarm-armed-out" kind="event">
+        <native service="ClockService" var="AlarmArmed"/>
+      </binding>
+      <binding port="time-out" kind="event">
+        <native service="ClockService" var="Time"/>
+      </binding>
+    </bindings>
+  </service>
+</usdl>)USDL";
+
+constexpr const char* kAirConditionerUsdl = R"USDL(
+<usdl version="1">
+  <service platform="upnp" match="urn:schemas-upnp-org:device:AirConditioner:1"
+           name="UPnP Air Conditioner">
+    <shape>
+      <digital-port name="target-in" direction="input" mime="text/plain"
+                    description="target temperature in Celsius"/>
+      <digital-port name="mode-in" direction="input" mime="text/plain"
+                    description="Off | Cool | Heat | Fan"/>
+      <digital-port name="temperature-out" direction="output" mime="text/plain"/>
+      <physical-port name="air" direction="output" tag="tangible/air"/>
+    </shape>
+    <bindings>
+      <binding port="target-in" kind="action">
+        <native service="HVAC_FanOperatingMode" action="SetTargetTemperature">
+          <arg name="Target" value="$body"/>
+        </native>
+      </binding>
+      <binding port="mode-in" kind="action">
+        <native service="HVAC_FanOperatingMode" action="SetMode"><arg name="Mode" value="$body"/></native>
+      </binding>
+      <binding port="temperature-out" kind="event">
+        <native service="HVAC_FanOperatingMode" var="CurrentTemperature"/>
+      </binding>
+    </bindings>
+  </service>
+</usdl>)USDL";
+
+constexpr const char* kMediaRendererUsdl = R"USDL(
+<usdl version="1">
+  <service platform="upnp" match="urn:schemas-upnp-org:device:MediaRenderer:1"
+           name="UPnP MediaRenderer TV">
+    <shape>
+      <digital-port name="image-in" direction="input" mime="image/*"
+                    description="render an image on the screen"/>
+      <digital-port name="rendered-out" direction="output" mime="text/plain"/>
+      <physical-port name="screen" direction="output" tag="visible/screen"/>
+    </shape>
+    <bindings>
+      <binding port="image-in" kind="action">
+        <native service="RenderingControl" action="RenderImage">
+          <arg name="ImageData" value="$body64"/>
+          <arg name="Name" value="$meta:filename"/>
+        </native>
+      </binding>
+      <binding port="rendered-out" kind="event">
+        <native service="RenderingControl" var="LastRendered"/>
+      </binding>
+    </bindings>
+  </service>
+</usdl>)USDL";
+
+}  // namespace
+
+void register_upnp_usdl(core::UsdlLibrary& library) {
+  for (const char* doc : {kLightUsdl, kClockUsdl, kAirConditionerUsdl, kMediaRendererUsdl}) {
+    auto r = library.add_text(doc);
+    if (!r.ok()) std::abort();  // built-in documents must parse
+  }
+}
+
+}  // namespace umiddle::upnp

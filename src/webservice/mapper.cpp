@@ -1,0 +1,198 @@
+#include "webservice/mapper.hpp"
+
+#include "common/log.hpp"
+
+namespace umiddle::ws {
+namespace {
+
+constexpr const char* kWeatherUsdl = R"USDL(
+<usdl version="1">
+  <service platform="ws" match="ws:weather" name="Weather Web Service">
+    <shape>
+      <digital-port name="query" direction="input" mime="text/plain"
+                    description="ask for a report by station name"/>
+      <digital-port name="report-out" direction="output" mime="text/plain"/>
+      <digital-port name="update-out" direction="output" mime="text/plain"
+                    description="unsolicited forecast updates (webhook)"/>
+    </shape>
+    <bindings>
+      <binding port="query" kind="ws-call" emit="report-out">
+        <native method="getReport"/>
+      </binding>
+      <binding port="update-out" kind="ws-webhook">
+        <native/>
+      </binding>
+    </bindings>
+  </service>
+</usdl>)USDL";
+
+}  // namespace
+
+// --- WsTranslator ----------------------------------------------------------------------
+
+WsTranslator::WsTranslator(WsMapper& mapper, WsEntry entry, const core::UsdlService& usdl)
+    : Translator(entry.name + " (WS)", "ws", "ws:" + entry.type, usdl.shape),
+      mapper_(mapper), entry_(std::move(entry)), usdl_(usdl) {
+  set_hierarchy_entities(usdl.hierarchy_entities);
+}
+
+WsTranslator::~WsTranslator() { *alive_ = false; }
+
+bool WsTranslator::ready(const std::string&) const { return !busy_; }
+
+void WsTranslator::on_mapped() {
+  for (const core::UsdlBinding& b : usdl_.bindings) {
+    if (b.kind != "ws-webhook") continue;
+    std::string url = mapper_.register_webhook(*this);
+    // Subscribe our webhook with the native service.
+    ws_call(mapper_.runtime().network(), mapper_.runtime().host(), entry_.url, "subscribe",
+            to_bytes(url), [](Result<Bytes> r) {
+              if (!r.ok()) {
+                log::Entry(log::Level::warn, "ws")
+                    << "subscribe failed: " << r.error().to_string();
+              }
+            });
+  }
+}
+
+void WsTranslator::on_unmapped() { *alive_ = false; }
+
+Result<void> WsTranslator::deliver(const std::string& port, const core::Message& msg) {
+  for (const core::UsdlBinding* b : usdl_.bindings_for(port)) {
+    if (b->kind != "ws-call") continue;
+    busy_ = true;
+    std::string emit_port = b->emit_port;
+    ws_call(mapper_.runtime().network(), mapper_.runtime().host(), entry_.url,
+            b->native.attr("method"), msg.payload,
+            [this, alive = alive_, emit_port](Result<Bytes> result) {
+              if (!*alive) return;
+              busy_ = false;
+              if (result.ok() && !emit_port.empty() && mapped()) {
+                const core::PortSpec* spec = profile().shape.find(emit_port);
+                if (spec != nullptr) {
+                  core::Message out;
+                  out.type = spec->type;
+                  out.payload = std::move(result).take();
+                  (void)emit(emit_port, std::move(out));
+                }
+              } else if (!result.ok()) {
+                log::Entry(log::Level::warn, "ws")
+                    << "call failed: " << result.error().to_string();
+              }
+              if (mapped()) runtime()->notify_ready(profile().id);
+            });
+    return ok_result();
+  }
+  return make_error(Errc::unsupported, "no ws-call binding for port " + port);
+}
+
+void WsTranslator::webhook_receive(const Bytes& param) {
+  for (const core::UsdlBinding& b : usdl_.bindings) {
+    if (b.kind != "ws-webhook") continue;
+    const core::PortSpec* spec = profile().shape.find(b.port);
+    if (spec == nullptr || !mapped()) continue;
+    core::Message msg;
+    msg.type = spec->type;
+    msg.payload = param;
+    (void)emit(b.port, std::move(msg));
+  }
+}
+
+// --- WsMapper -----------------------------------------------------------------------------
+
+WsMapper::WsMapper(std::string listing_url, const core::UsdlLibrary& library,
+                   std::uint16_t webhook_port, sim::Duration poll_interval)
+    : Mapper("ws"), listing_url_(std::move(listing_url)), library_(library),
+      webhook_port_(webhook_port), poll_interval_(poll_interval) {}
+
+WsMapper::~WsMapper() = default;
+
+void WsMapper::start(core::Runtime& runtime) {
+  runtime_ = &runtime;
+  stopped_ = false;
+  webhook_server_ = std::make_unique<upnp::HttpServer>(runtime.network(), runtime.host(),
+                                                       webhook_port_);
+  webhook_server_->route_prefix(
+      "/hook/", [this](const upnp::HttpRequest& req, upnp::RespondFn respond) {
+        auto hook = webhooks_.find(req.path);
+        if (hook == webhooks_.end()) {
+          respond(upnp::HttpResponse::make(404, "Not Found"));
+          return;
+        }
+        auto param = decode_notification(req.body);
+        if (!param.ok()) {
+          respond(upnp::HttpResponse::make(400, "Bad Request"));
+          return;
+        }
+        hook->second->webhook_receive(param.value());
+        respond(upnp::HttpResponse::make(200, "OK"));
+      });
+  if (auto r = webhook_server_->start(); !r.ok()) {
+    log::Entry(log::Level::error, "ws") << "webhook server failed: " << r.error().to_string();
+    return;
+  }
+  poll();
+}
+
+void WsMapper::stop() {
+  stopped_ = true;
+  if (webhook_server_) webhook_server_->stop();
+  webhooks_.clear();
+}
+
+std::string WsMapper::register_webhook(WsTranslator& translator) {
+  std::string path = "/hook/" + std::to_string(next_webhook_++);
+  webhooks_[path] = &translator;
+  return "http://" + runtime_->host() + ":" + std::to_string(webhook_port_) + path;
+}
+
+void WsMapper::unregister_webhook(const std::string& path) { webhooks_.erase(path); }
+
+void WsMapper::poll() {
+  if (stopped_ || runtime_ == nullptr) return;
+  ws_list(runtime_->network(), runtime_->host(), listing_url_,
+          [this](Result<std::vector<WsEntry>> entries) {
+            if (stopped_) return;
+            if (entries.ok()) handle_listing(entries.value());
+            runtime_->scheduler().schedule_after(poll_interval_, [this]() { poll(); });
+          });
+}
+
+void WsMapper::handle_listing(const std::vector<WsEntry>& entries) {
+  std::set<std::string> seen;
+  for (const WsEntry& entry : entries) {
+    seen.insert(entry.name);
+    if (by_name_.count(entry.name) != 0 || pending_.count(entry.name) != 0) continue;
+    const core::UsdlService* usdl = library_.find("ws", "ws:" + entry.type);
+    if (usdl == nullptr) continue;
+    pending_.insert(entry.name);
+    auto translator = std::make_unique<WsTranslator>(*this, entry, *usdl);
+    std::string name = entry.name;
+    runtime_->instantiate(std::move(translator), [this, name](Result<TranslatorId> r) {
+      pending_.erase(name);
+      if (!r.ok()) {
+        log::Entry(log::Level::warn, "ws") << "instantiate failed: " << r.error().to_string();
+        return;
+      }
+      by_name_[name] = r.value();
+    });
+  }
+  // Webhook registrations of vanished translators are dropped with them.
+  for (auto it = by_name_.begin(); it != by_name_.end();) {
+    if (seen.count(it->first) == 0) {
+      std::erase_if(webhooks_, [&](const auto& hook) {
+        return hook.second->profile().id == it->second;
+      });
+      (void)runtime_->unmap(it->second);
+      it = by_name_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void register_ws_usdl(core::UsdlLibrary& library) {
+  if (auto r = library.add_text(kWeatherUsdl); !r.ok()) std::abort();
+}
+
+}  // namespace umiddle::ws

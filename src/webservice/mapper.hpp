@@ -1,0 +1,87 @@
+// The web-services mapper and its generic translator.
+//
+// Discovery: polls the UDDI-lite registry document; services whose type string
+// has a USDL document ("ws:<type>") are imported.
+//
+// USDL binding kinds understood by this mapper:
+//   kind="ws-call"    — an input-port message becomes an XML-RPC call of
+//       native attr method="..."; with emit="<port>", the response param is
+//       emitted from that (output) port.
+//   kind="ws-webhook" — the mapper runs a webhook HTTP server on the runtime
+//       host; the translator subscribes it to the service, and incoming
+//       notification documents are emitted from the binding's port.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/umiddle.hpp"
+#include "webservice/registry.hpp"
+#include "webservice/service.hpp"
+
+namespace umiddle::ws {
+
+class WsMapper;
+
+class WsTranslator final : public core::Translator {
+ public:
+  WsTranslator(WsMapper& mapper, WsEntry entry, const core::UsdlService& usdl);
+  ~WsTranslator() override;
+
+  Result<void> deliver(const std::string& port, const core::Message& msg) override;
+  bool ready(const std::string& port) const override;
+  void on_mapped() override;
+  void on_unmapped() override;
+
+  /// Called by the mapper's webhook server.
+  void webhook_receive(const Bytes& param);
+
+  const WsEntry& entry() const { return entry_; }
+
+ private:
+  WsMapper& mapper_;
+  WsEntry entry_;
+  const core::UsdlService& usdl_;
+  bool busy_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+class WsMapper final : public core::Mapper {
+ public:
+  WsMapper(std::string listing_url, const core::UsdlLibrary& library,
+           std::uint16_t webhook_port = 8801,
+           sim::Duration poll_interval = sim::seconds(2));
+  ~WsMapper() override;
+
+  void start(core::Runtime& runtime) override;
+  void stop() override;
+
+  core::Runtime& runtime() { return *runtime_; }
+  /// Register a webhook path for a translator; returns the full URL.
+  std::string register_webhook(WsTranslator& translator);
+  void unregister_webhook(const std::string& path);
+
+  std::size_t mapped_count() const { return by_name_.size(); }
+
+ private:
+  void poll();
+  void handle_listing(const std::vector<WsEntry>& entries);
+
+  std::string listing_url_;
+  const core::UsdlLibrary& library_;
+  std::uint16_t webhook_port_;
+  sim::Duration poll_interval_;
+  core::Runtime* runtime_ = nullptr;
+  std::unique_ptr<upnp::HttpServer> webhook_server_;
+  std::map<std::string, WsTranslator*> webhooks_;  ///< path → translator
+  std::map<std::string, TranslatorId> by_name_;
+  std::set<std::string> pending_;
+  std::uint64_t next_webhook_ = 1;
+  bool stopped_ = false;
+};
+
+/// Built-in USDL for the demo "weather" web service type.
+void register_ws_usdl(core::UsdlLibrary& library);
+
+}  // namespace umiddle::ws

@@ -1,0 +1,16 @@
+// Recursive-descent XML parser for the dialects uMiddle speaks (USDL, UPnP
+// descriptions, SOAP, GENA, VML). Handles declarations, comments, CDATA,
+// attributes with either quote style, entity references, and self-closing tags.
+// DTDs and processing instructions other than the declaration are rejected.
+#pragma once
+
+#include <string_view>
+
+#include "xml/xml.hpp"
+
+namespace umiddle::xml {
+
+/// Parse a complete document; the returned element is the root.
+Result<Element> parse(std::string_view text);
+
+}  // namespace umiddle::xml

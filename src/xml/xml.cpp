@@ -1,0 +1,188 @@
+#include "xml/xml.hpp"
+
+namespace umiddle::xml {
+
+std::string_view Element::attr(std::string_view name) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+bool Element::has_attr(std::string_view name) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+Element& Element::set_attr(std::string name, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == name) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  attrs_.emplace_back(std::move(name), std::move(value));
+  return *this;
+}
+
+Element& Element::add_child(std::string name) {
+  children_.emplace_back(std::move(name));
+  return children_.back();
+}
+
+Element& Element::add_child(Element child) {
+  children_.push_back(std::move(child));
+  return children_.back();
+}
+
+const Element* Element::child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c.name() == name || c.local_name() == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c.name() == name || c.local_name() == name) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string_view Element::child_text(std::string_view name) const {
+  const Element* c = child(name);
+  return c != nullptr ? std::string_view(c->text()) : std::string_view{};
+}
+
+const Element* Element::find(std::string_view name) const {
+  if (name_ == name || local_name() == name) return this;
+  for (const auto& c : children_) {
+    if (const Element* hit = c.find(name); hit != nullptr) return hit;
+  }
+  return nullptr;
+}
+
+std::string_view Element::local_name() const {
+  std::size_t colon = name_.find(':');
+  return colon == std::string::npos ? std::string_view(name_)
+                                    : std::string_view(name_).substr(colon + 1);
+}
+
+std::string Element::to_string(bool pretty, bool declaration) const {
+  std::string out;
+  if (declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (pretty) out += "\n";
+  }
+  write(out, 0, pretty);
+  return out;
+}
+
+void Element::write(std::string& out, int indent, bool pretty) const {
+  if (pretty) out.append(static_cast<std::size_t>(indent) * 2, ' ');
+  out += "<" + name_;
+  for (const auto& [k, v] : attrs_) {
+    out += " " + k + "=\"" + escape(v) + "\"";
+  }
+  if (text_.empty() && children_.empty()) {
+    out += "/>";
+    if (pretty) out += "\n";
+    return;
+  }
+  out += ">";
+  out += escape(text_);
+  if (!children_.empty()) {
+    if (pretty) out += "\n";
+    for (const auto& c : children_) c.write(out, indent + 1, pretty);
+    if (pretty) out.append(static_cast<std::size_t>(indent) * 2, ' ');
+  }
+  out += "</" + name_ + ">";
+  if (pretty) out += "\n";
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] != '&') {
+      out.push_back(s[i++]);
+      continue;
+    }
+    std::size_t semi = s.find(';', i);
+    if (semi == std::string_view::npos) {
+      return make_error(Errc::parse_error, "unterminated entity reference");
+    }
+    std::string_view ent = s.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out.push_back('&');
+    } else if (ent == "lt") {
+      out.push_back('<');
+    } else if (ent == "gt") {
+      out.push_back('>');
+    } else if (ent == "quot") {
+      out.push_back('"');
+    } else if (ent == "apos") {
+      out.push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      std::string_view num = ent.substr(1);
+      int base = 10;
+      if (!num.empty() && (num[0] == 'x' || num[0] == 'X')) {
+        base = 16;
+        num = num.substr(1);
+      }
+      if (num.empty()) return make_error(Errc::parse_error, "empty character reference");
+      unsigned long code = 0;
+      for (char c : num) {
+        int digit = -1;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (base == 16 && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        if (digit < 0) return make_error(Errc::parse_error, "bad character reference");
+        code = code * static_cast<unsigned long>(base) + static_cast<unsigned long>(digit);
+        if (code > 0x10FFFF) return make_error(Errc::parse_error, "character reference out of range");
+      }
+      // UTF-8 encode.
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    } else {
+      return make_error(Errc::parse_error, "unknown entity: &" + std::string(ent) + ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace umiddle::xml

@@ -1,0 +1,77 @@
+// Minimal XML document model + serializer.
+//
+// uMiddle is an XML-heavy system: USDL service descriptions, UPnP device/service
+// descriptions, SOAP envelopes, GENA notifications, the VML documents that carry
+// translated HID events, and directory advertisements are all XML. This model covers
+// the subset those dialects need: elements, attributes, text content, comments
+// (skipped), entity escaping, and an optional XML declaration. Namespaces are kept
+// as literal prefixes (the 2006-era dialects use fixed prefixes).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace umiddle::xml {
+
+/// An XML element: name, attributes, child elements, and concatenated text.
+class Element {
+ public:
+  Element() = default;
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Concatenated character data directly inside this element (trimmed).
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  const std::vector<std::pair<std::string, std::string>>& attributes() const { return attrs_; }
+  /// Attribute value, or empty string when absent.
+  std::string_view attr(std::string_view name) const;
+  bool has_attr(std::string_view name) const;
+  Element& set_attr(std::string name, std::string value);
+
+  const std::vector<Element>& children() const { return children_; }
+  std::vector<Element>& children() { return children_; }
+
+  /// Append a child element and return a reference to it.
+  Element& add_child(std::string name);
+  Element& add_child(Element child);
+
+  /// First direct child with the given name, or nullptr.
+  const Element* child(std::string_view name) const;
+  /// All direct children with the given name.
+  std::vector<const Element*> children_named(std::string_view name) const;
+  /// Text of the named direct child, or empty string.
+  std::string_view child_text(std::string_view name) const;
+
+  /// Depth-first search for the first descendant (or self) with the given name.
+  const Element* find(std::string_view name) const;
+
+  /// Local part of the element name (strips any "prefix:").
+  std::string_view local_name() const;
+
+  /// Serialize. `pretty` adds indentation; `declaration` prepends <?xml ...?>.
+  std::string to_string(bool pretty = false, bool declaration = false) const;
+
+ private:
+  void write(std::string& out, int indent, bool pretty) const;
+
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<Element> children_;
+};
+
+/// Escape &<>"' for use in text or attribute values.
+std::string escape(std::string_view s);
+/// Resolve the five predefined entities plus decimal/hex character references.
+Result<std::string> unescape(std::string_view s);
+
+}  // namespace umiddle::xml

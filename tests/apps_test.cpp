@@ -1,0 +1,286 @@
+// Tests for the application layer: uMiddle Pads (§4.1) and G2 UI (§4.2).
+#include <gtest/gtest.h>
+
+#include "apps/g2ui.hpp"
+#include "apps/pads.hpp"
+#include "core/umiddle.hpp"
+
+namespace umiddle::apps {
+namespace {
+
+using sim::seconds;
+
+MimeType jpeg() { return MimeType::of("image/jpeg"); }
+
+struct World {
+  sim::Scheduler sched;
+  net::Network net{sched, 1};
+  std::unique_ptr<core::Runtime> runtime;
+
+  World() {
+    net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+    EXPECT_TRUE(net.add_host("node").ok());
+    EXPECT_TRUE(net.attach("node", lan).ok());
+    runtime = std::make_unique<core::Runtime>(sched, net, "node");
+    EXPECT_TRUE(runtime->start().ok());
+  }
+
+  TranslatorId add_source(const std::string& name, const char* mime = "image/jpeg",
+                          core::LambdaDevice** out = nullptr) {
+    auto dev = std::make_unique<core::LambdaDevice>(
+        name, core::make_source_shape("out", MimeType::of(mime)));
+    if (out != nullptr) *out = dev.get();
+    return runtime->map(std::move(dev)).take();
+  }
+
+  TranslatorId add_sink(const std::string& name, const char* mime = "image/jpeg",
+                        core::CollectorDevice** out = nullptr) {
+    auto dev = std::make_unique<core::CollectorDevice>(
+        name, core::make_sink_shape("in", MimeType::of(mime)));
+    if (out != nullptr) *out = dev.get();
+    return runtime->map(std::move(dev)).take();
+  }
+
+  void settle() { sched.run_for(seconds(1)); }
+};
+
+// --- Pads ---------------------------------------------------------------------
+
+TEST(PadsTest, IconsAreSortedAndLive) {
+  World w;
+  Pads pads(*w.runtime);
+  EXPECT_TRUE(pads.icons().empty());
+  (void)w.add_source("Zebra cam");
+  (void)w.add_sink("Alpha display");
+  w.settle();
+  auto icons = pads.icons();
+  ASSERT_EQ(icons.size(), 2u);
+  EXPECT_EQ(icons[0].name, "Alpha display");
+  EXPECT_EQ(icons[1].name, "Zebra cam");
+}
+
+TEST(PadsTest, IconLookupByNameAndAmbiguity) {
+  World w;
+  Pads pads(*w.runtime);
+  (void)w.add_source("Cam");
+  (void)w.add_source("Cam");  // duplicate name
+  (void)w.add_sink("Display");
+  w.settle();
+  EXPECT_TRUE(pads.icon("Display").ok());
+  EXPECT_FALSE(pads.icon("Ghost").ok());
+  auto ambiguous = pads.icon("Cam");
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_EQ(ambiguous.error().code, Errc::invalid_argument);
+}
+
+TEST(PadsTest, WireMovesMessages) {
+  World w;
+  Pads pads(*w.runtime);
+  core::LambdaDevice* cam = nullptr;
+  core::CollectorDevice* display = nullptr;
+  (void)w.add_source("Cam", "image/jpeg", &cam);
+  (void)w.add_sink("Display", "image/jpeg", &display);
+  w.settle();
+
+  auto path = pads.wire("Cam", "out", "Display", "in");
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(pads.wires().size(), 1u);
+  EXPECT_EQ(pads.wires()[0].description, "Cam.out -> Display.in");
+
+  core::Message m;
+  m.type = jpeg();
+  m.payload = Bytes(64);
+  ASSERT_TRUE(cam->emit("out", std::move(m)).ok());
+  w.settle();
+  EXPECT_EQ(display->count(), 1u);
+
+  ASSERT_TRUE(pads.unwire(path.value()).ok());
+  EXPECT_TRUE(pads.wires().empty());
+  core::Message m2;
+  m2.type = jpeg();
+  ASSERT_TRUE(cam->emit("out", std::move(m2)).ok());
+  w.settle();
+  EXPECT_EQ(display->count(), 1u);  // unwired
+}
+
+TEST(PadsTest, WireRejectsIncompatiblePorts) {
+  World w;
+  Pads pads(*w.runtime);
+  (void)w.add_source("Cam", "image/jpeg");
+  (void)w.add_sink("TextLog", "text/plain");
+  w.settle();
+  auto r = pads.wire("Cam", "out", "TextLog", "in");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::incompatible);
+  EXPECT_TRUE(pads.wires().empty());
+}
+
+TEST(PadsTest, QueryWireFansOut) {
+  World w;
+  Pads pads(*w.runtime);
+  core::LambdaDevice* cam = nullptr;
+  core::CollectorDevice *d1 = nullptr, *d2 = nullptr;
+  (void)w.add_source("Cam", "image/jpeg", &cam);
+  (void)w.add_sink("D1", "image/jpeg", &d1);
+  (void)w.add_sink("D2", "image/jpeg", &d2);
+  w.settle();
+  ASSERT_TRUE(pads.wire_to_query("Cam", "out", core::Query().digital_input(jpeg())).ok());
+  core::Message m;
+  m.type = jpeg();
+  ASSERT_TRUE(cam->emit("out", std::move(m)).ok());
+  w.settle();
+  EXPECT_EQ(d1->count(), 1u);
+  EXPECT_EQ(d2->count(), 1u);
+}
+
+TEST(PadsTest, UnmapDropsAffectedWires) {
+  World w;
+  Pads pads(*w.runtime);
+  (void)w.add_source("Cam");
+  auto sink_id = w.add_sink("Display");
+  w.settle();
+  ASSERT_TRUE(pads.wire("Cam", "out", "Display", "in").ok());
+  ASSERT_EQ(pads.wires().size(), 1u);
+  ASSERT_TRUE(w.runtime->unmap(sink_id).ok());
+  w.settle();
+  EXPECT_TRUE(pads.wires().empty());
+  EXPECT_EQ(pads.icons().size(), 1u);
+}
+
+TEST(PadsTest, RenderShowsIconsAndWires) {
+  World w;
+  Pads pads(*w.runtime);
+  (void)w.add_source("Cam");
+  (void)w.add_sink("Display");
+  w.settle();
+  ASSERT_TRUE(pads.wire("Cam", "out", "Display", "in").ok());
+  std::string board = pads.render();
+  EXPECT_NE(board.find("uMiddle Pads"), std::string::npos);
+  EXPECT_NE(board.find("[umiddle]"), std::string::npos);
+  EXPECT_NE(board.find("Cam"), std::string::npos);
+  EXPECT_NE(board.find("Cam.out -> Display.in"), std::string::npos);
+}
+
+// --- G2 UI ----------------------------------------------------------------------
+
+TEST(G2UiTest, PlacementRequiresKnownGadget) {
+  World w;
+  G2UI atlas(*w.runtime);
+  EXPECT_FALSE(atlas.place(TranslatorId(424242), {0, 0}).ok());
+  auto id = w.add_source("Cam");
+  w.settle();
+  EXPECT_TRUE(atlas.place(id, {1, 2}).ok());
+  ASSERT_TRUE(atlas.location(id).has_value());
+  EXPECT_DOUBLE_EQ(atlas.location(id)->x, 1);
+  EXPECT_FALSE(atlas.move(TranslatorId(424242), {0, 0}).ok());
+}
+
+TEST(G2UiTest, CoLocationStartsGeoplayAndSeparationEndsIt) {
+  World w;
+  G2UI atlas(*w.runtime, /*radius=*/5.0);
+  core::LambdaDevice* cam = nullptr;
+  core::CollectorDevice* tv = nullptr;
+  auto cam_id = w.add_source("Cam", "image/jpeg", &cam);
+  auto tv_id = w.add_sink("TV", "image/jpeg", &tv);
+  w.settle();
+
+  ASSERT_TRUE(atlas.place(cam_id, {0, 0}).ok());
+  ASSERT_TRUE(atlas.place(tv_id, {50, 50}).ok());
+  EXPECT_TRUE(atlas.sessions().empty());
+
+  // Move within radius → session starts; media flows.
+  ASSERT_TRUE(atlas.move(cam_id, {48, 47}).ok());
+  ASSERT_EQ(atlas.sessions().size(), 1u);
+  core::Message m;
+  m.type = jpeg();
+  ASSERT_TRUE(cam->emit("out", std::move(m)).ok());
+  w.settle();
+  EXPECT_EQ(tv->count(), 1u);
+
+  // Move apart → session ends; no more flow.
+  ASSERT_TRUE(atlas.move(cam_id, {0, 0}).ok());
+  EXPECT_TRUE(atlas.sessions().empty());
+  core::Message m2;
+  m2.type = jpeg();
+  ASSERT_TRUE(cam->emit("out", std::move(m2)).ok());
+  w.settle();
+  EXPECT_EQ(tv->count(), 1u);
+}
+
+TEST(G2UiTest, BoundaryDistanceIsInclusive) {
+  World w;
+  G2UI atlas(*w.runtime, 5.0);
+  auto a = w.add_source("A");
+  auto b = w.add_sink("B");
+  w.settle();
+  ASSERT_TRUE(atlas.place(a, {0, 0}).ok());
+  ASSERT_TRUE(atlas.place(b, {3, 4}).ok());  // distance exactly 5
+  EXPECT_EQ(atlas.sessions().size(), 1u);
+}
+
+TEST(G2UiTest, IncompatibleGadgetsDoNotSession) {
+  World w;
+  G2UI atlas(*w.runtime, 5.0);
+  auto a = w.add_source("Cam", "image/jpeg");
+  auto b = w.add_sink("TextLog", "text/plain");
+  w.settle();
+  ASSERT_TRUE(atlas.place(a, {0, 0}).ok());
+  ASSERT_TRUE(atlas.place(b, {1, 1}).ok());
+  EXPECT_TRUE(atlas.sessions().empty());
+}
+
+TEST(G2UiTest, ThreeWayCoLocationPicksAllPairs) {
+  // A capture device co-located with BOTH a player and a store feeds both
+  // (the paper: "playback of media acquired from one or more co-located
+  // storage or capture devices").
+  World w;
+  G2UI atlas(*w.runtime, 10.0);
+  core::LambdaDevice* cam = nullptr;
+  core::CollectorDevice *player = nullptr, *store = nullptr;
+  auto cam_id = w.add_source("Cam", "image/jpeg", &cam);
+  auto player_id = w.add_sink("Player", "image/jpeg", &player);
+  auto store_id = w.add_sink("Store", "image/jpeg", &store);
+  w.settle();
+  ASSERT_TRUE(atlas.place(cam_id, {0, 0}).ok());
+  ASSERT_TRUE(atlas.place(player_id, {1, 0}).ok());
+  ASSERT_TRUE(atlas.place(store_id, {0, 1}).ok());
+  EXPECT_EQ(atlas.sessions().size(), 2u);  // cam→player, cam→store
+  core::Message m;
+  m.type = jpeg();
+  ASSERT_TRUE(cam->emit("out", std::move(m)).ok());
+  w.settle();
+  EXPECT_EQ(player->count(), 1u);
+  EXPECT_EQ(store->count(), 1u);
+}
+
+TEST(G2UiTest, UnmappedGadgetLeavesSpace) {
+  World w;
+  G2UI atlas(*w.runtime, 5.0);
+  auto cam_id = w.add_source("Cam");
+  auto tv_id = w.add_sink("TV");
+  w.settle();
+  ASSERT_TRUE(atlas.place(cam_id, {0, 0}).ok());
+  ASSERT_TRUE(atlas.place(tv_id, {1, 1}).ok());
+  ASSERT_EQ(atlas.sessions().size(), 1u);
+  ASSERT_TRUE(w.runtime->unmap(cam_id).ok());
+  w.settle();
+  EXPECT_TRUE(atlas.sessions().empty());
+  EXPECT_EQ(atlas.gadget_count(), 1u);
+}
+
+TEST(G2UiTest, RemoveEndsSessions) {
+  World w;
+  G2UI atlas(*w.runtime, 5.0);
+  auto cam_id = w.add_source("Cam");
+  auto tv_id = w.add_sink("TV");
+  w.settle();
+  ASSERT_TRUE(atlas.place(cam_id, {0, 0}).ok());
+  ASSERT_TRUE(atlas.place(tv_id, {1, 1}).ok());
+  ASSERT_EQ(atlas.sessions().size(), 1u);
+  atlas.remove(cam_id);
+  EXPECT_TRUE(atlas.sessions().empty());
+  EXPECT_EQ(atlas.gadget_count(), 1u);
+}
+
+}  // namespace
+}  // namespace umiddle::apps

@@ -1,0 +1,643 @@
+// Integration tests for the uMiddle core: runtime + directory + transport over
+// the simulated network. Covers mapping/advertising, fixed and dynamic (query)
+// message paths, cross-node bridging over UMTP, backpressure, QoS, and the
+// virtual-time instantiation cost.
+#include <gtest/gtest.h>
+
+#include "core/umiddle.hpp"
+
+namespace umiddle::core {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+MimeType jpeg() { return MimeType::of("image/jpeg"); }
+
+/// Two-runtime world on a 10 Mbps hub.
+struct World {
+  sim::Scheduler sched;
+  net::Network net{sched, 1};
+  net::SegmentId hub;
+  std::unique_ptr<Runtime> a;
+  std::unique_ptr<Runtime> b;
+
+  World() {
+    net::SegmentSpec spec;
+    spec.latency = sim::microseconds(100);
+    hub = net.add_segment(spec);
+    for (const char* h : {"hostA", "hostB"}) {
+      EXPECT_TRUE(net.add_host(h).ok());
+      EXPECT_TRUE(net.attach(h, hub).ok());
+    }
+    a = std::make_unique<Runtime>(sched, net, "hostA");
+    b = std::make_unique<Runtime>(sched, net, "hostB");
+  }
+
+  void start_all() {
+    ASSERT_TRUE(a->start().ok());
+    ASSERT_TRUE(b->start().ok());
+    settle();
+  }
+
+  void settle() { sched.run_for(seconds(1)); }
+};
+
+std::unique_ptr<LambdaDevice> make_camera(const std::string& name = "Camera") {
+  return std::make_unique<LambdaDevice>(name, make_source_shape("image-out", jpeg()));
+}
+
+std::unique_ptr<CollectorDevice> make_display(const std::string& name = "Display") {
+  Shape shape = make_sink_shape("image-in", jpeg());
+  PortSpec screen;
+  screen.name = "screen";
+  screen.kind = PortKind::physical;
+  screen.direction = Direction::output;
+  screen.type = MimeType::of("visible/screen");
+  EXPECT_TRUE(shape.add(std::move(screen)).ok());
+  return std::make_unique<CollectorDevice>(name, std::move(shape));
+}
+
+Message jpeg_message(std::size_t size = 100) {
+  Message m;
+  m.type = jpeg();
+  m.payload = Bytes(size, 0xFF);
+  return m;
+}
+
+// --- mapping & directory -------------------------------------------------------------
+
+TEST(RuntimeTest, MapAssignsGloballyUniqueIdsAndPublishes) {
+  World w;
+  w.start_all();
+  auto cam = make_camera();
+  auto id_a = w.a->map(std::move(cam));
+  ASSERT_TRUE(id_a.ok());
+  auto id_b = w.b->map(make_camera("Camera B"));
+  ASSERT_TRUE(id_b.ok());
+  EXPECT_NE(id_a.value(), id_b.value());
+
+  EXPECT_NE(w.a->translator(id_a.value()), nullptr);
+  EXPECT_EQ(w.a->translator(id_b.value()), nullptr);  // hosted on B
+
+  const TranslatorProfile* p = w.a->directory().profile(id_a.value());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->node, w.a->node());
+  EXPECT_EQ(p->platform, "umiddle");
+}
+
+TEST(RuntimeTest, MapRejectsEmptyShapeAndNull) {
+  World w;
+  w.start_all();
+  EXPECT_FALSE(w.a->map(nullptr).ok());
+  EXPECT_FALSE(w.a->map(std::make_unique<LambdaDevice>("empty", Shape{})).ok());
+}
+
+TEST(RuntimeTest, StartFailsForUnknownHost) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  Runtime r(sched, net, "ghost");
+  EXPECT_FALSE(r.start().ok());
+}
+
+TEST(DirectoryTest, AdvertisementsPropagateAcrossRuntimes) {
+  World w;
+  w.start_all();
+  auto id = w.a->map(make_camera()).take();
+  w.settle();
+  // B's directory learned the camera via multicast announce.
+  const TranslatorProfile* p = w.b->directory().profile(id);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->name, "Camera");
+  EXPECT_EQ(p->node, w.a->node());
+  // And B knows how to reach A's transport.
+  const NodeInfo* info = w.b->directory().node_info(w.a->node());
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->host, "hostA");
+}
+
+TEST(DirectoryTest, ProbeRecoversPreexistingTranslators) {
+  World w;
+  // A starts and maps before B even exists on the network.
+  ASSERT_TRUE(w.a->start().ok());
+  auto id = w.a->map(make_camera()).take();
+  w.settle();
+  // B starts later; its probe must pull A's announcements.
+  ASSERT_TRUE(w.b->start().ok());
+  w.settle();
+  EXPECT_NE(w.b->directory().profile(id), nullptr);
+}
+
+TEST(DirectoryTest, UnmapSendsByeEverywhere) {
+  World w;
+  w.start_all();
+  auto id = w.a->map(make_camera()).take();
+  w.settle();
+  ASSERT_NE(w.b->directory().profile(id), nullptr);
+  ASSERT_TRUE(w.a->unmap(id).ok());
+  w.settle();
+  EXPECT_EQ(w.a->directory().profile(id), nullptr);
+  EXPECT_EQ(w.b->directory().profile(id), nullptr);
+}
+
+TEST(DirectoryTest, ListenersSeeMapAndUnmapExactlyOnce) {
+  World w;
+  w.start_all();
+  int mapped = 0, unmapped = 0;
+  LambdaListener listener([&](const TranslatorProfile&) { ++mapped; },
+                          [&](const TranslatorProfile&) { ++unmapped; });
+  w.b->directory().add_directory_listener(&listener);
+
+  auto id = w.a->map(make_camera()).take();
+  w.settle();
+  EXPECT_EQ(mapped, 1);  // re-announcements must not re-notify
+  ASSERT_TRUE(w.a->unmap(id).ok());
+  w.settle();
+  EXPECT_EQ(unmapped, 1);
+  w.b->directory().remove_directory_listener(&listener);
+}
+
+TEST(DirectoryTest, LookupAppliesQuery) {
+  World w;
+  w.start_all();
+  (void)w.a->map(make_camera()).take();
+  (void)w.b->map(make_display()).take();
+  w.settle();
+
+  auto sources = w.a->directory().lookup(Query().digital_output(jpeg()));
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0].name, "Camera");
+
+  auto visible = w.a->directory().lookup(Query().physical_output(MimeType::of("visible/*")));
+  ASSERT_EQ(visible.size(), 1u);
+  EXPECT_EQ(visible[0].name, "Display");
+
+  EXPECT_EQ(w.a->directory().lookup(Query()).size(), 2u);
+  EXPECT_EQ(w.a->directory().lookup(Query().platform("upnp")).size(), 0u);
+}
+
+// --- fixed paths -------------------------------------------------------------------------
+
+TEST(TransportTest, LocalFixedPathDeliversInOrder) {
+  World w;
+  w.start_all();
+  auto* cam_raw = make_camera().release();
+  auto cam = std::unique_ptr<LambdaDevice>(cam_raw);
+  auto cam_id = w.a->map(std::move(cam)).take();
+  auto disp = make_display();
+  CollectorDevice* disp_raw = disp.get();
+  auto disp_id = w.a->map(std::move(disp)).take();
+  w.settle();
+
+  auto path = w.a->transport().connect(PortRef{cam_id, "image-out"},
+                                       PortRef{disp_id, "image-in"});
+  ASSERT_TRUE(path.ok());
+
+  for (int i = 0; i < 5; ++i) {
+    Message m = jpeg_message();
+    m.meta["seq"] = std::to_string(i);
+    ASSERT_TRUE(cam_raw->emit("image-out", std::move(m)).ok());
+  }
+  w.settle();
+  ASSERT_EQ(disp_raw->count(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(disp_raw->received()[static_cast<std::size_t>(i)].msg.meta.at("seq"),
+              std::to_string(i));
+    EXPECT_EQ(disp_raw->received()[static_cast<std::size_t>(i)].port, "image-in");
+  }
+  const PathStats* stats = w.a->transport().stats(path.value());
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->messages_forwarded, 5u);
+  EXPECT_EQ(stats->bytes_forwarded, 500u);
+}
+
+TEST(TransportTest, ConnectValidatesCompatibility) {
+  World w;
+  w.start_all();
+  auto cam_id = w.a->map(make_camera()).take();
+  auto text_sink = std::make_unique<CollectorDevice>(
+      "Logger", make_sink_shape("text-in", MimeType::of("text/plain")));
+  auto text_id = w.a->map(std::move(text_sink)).take();
+  auto disp_id = w.a->map(make_display()).take();
+  w.settle();
+
+  // jpeg output into text input: incompatible.
+  auto bad = w.a->transport().connect(PortRef{cam_id, "image-out"}, PortRef{text_id, "text-in"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, Errc::incompatible);
+  // input as source: invalid.
+  EXPECT_FALSE(
+      w.a->transport().connect(PortRef{disp_id, "image-in"}, PortRef{text_id, "text-in"}).ok());
+  // unknown ports / translators.
+  EXPECT_FALSE(
+      w.a->transport().connect(PortRef{cam_id, "ghost"}, PortRef{disp_id, "image-in"}).ok());
+  EXPECT_FALSE(w.a->transport()
+                   .connect(PortRef{TranslatorId(999999), "x"}, PortRef{disp_id, "image-in"})
+                   .ok());
+  // physical port as destination: incompatible.
+  EXPECT_FALSE(
+      w.a->transport().connect(PortRef{cam_id, "image-out"}, PortRef{disp_id, "screen"}).ok());
+}
+
+TEST(TransportTest, EmitValidatesPortAndType) {
+  World w;
+  w.start_all();
+  auto cam = make_camera();
+  LambdaDevice* cam_raw = cam.get();
+  (void)w.a->map(std::move(cam)).take();
+
+  EXPECT_FALSE(cam_raw->emit("ghost", jpeg_message()).ok());
+  Message wrong = jpeg_message();
+  wrong.type = MimeType::of("text/plain");
+  EXPECT_FALSE(cam_raw->emit("image-out", std::move(wrong)).ok());
+  // Unmapped translator cannot emit.
+  LambdaDevice unmapped("Loose", make_source_shape("o", jpeg()));
+  struct Probe : LambdaDevice {
+    using LambdaDevice::LambdaDevice;
+    Result<void> poke() { return emit("o", Message{MimeType::of("image/jpeg"), {}, {}}); }
+  };
+  Probe probe("Probe", make_source_shape("o", jpeg()));
+  EXPECT_FALSE(probe.poke().ok());
+}
+
+TEST(TransportTest, CrossNodeFixedPathOverUmtp) {
+  World w;
+  w.start_all();
+  auto cam = make_camera();
+  LambdaDevice* cam_raw = cam.get();
+  auto cam_id = w.a->map(std::move(cam)).take();
+  auto disp = make_display();
+  CollectorDevice* disp_raw = disp.get();
+  auto disp_id = w.b->map(std::move(disp)).take();
+  w.settle();
+
+  // Path hosted on A (source side), destination on B.
+  auto path = w.a->transport().connect(PortRef{cam_id, "image-out"},
+                                       PortRef{disp_id, "image-in"});
+  ASSERT_TRUE(path.ok());
+  Message m = jpeg_message(5000);
+  m.meta["filename"] = "dsc001.jpg";
+  ASSERT_TRUE(cam_raw->emit("image-out", std::move(m)).ok());
+  w.settle();
+  ASSERT_EQ(disp_raw->count(), 1u);
+  EXPECT_EQ(disp_raw->received()[0].msg.payload.size(), 5000u);
+  EXPECT_EQ(disp_raw->received()[0].msg.meta.at("filename"), "dsc001.jpg");
+}
+
+TEST(TransportTest, RemoteConnectIsForwardedToHostingNode) {
+  World w;
+  w.start_all();
+  auto cam = make_camera();
+  LambdaDevice* cam_raw = cam.get();
+  auto cam_id = w.a->map(std::move(cam)).take();
+  auto disp = make_display();
+  CollectorDevice* disp_raw = disp.get();
+  auto disp_id = w.b->map(std::move(disp)).take();
+  w.settle();
+
+  // connect() issued on B; source translator is hosted on A → CONNECT frame.
+  auto path = w.b->transport().connect(PortRef{cam_id, "image-out"},
+                                       PortRef{disp_id, "image-in"});
+  ASSERT_TRUE(path.ok());
+  w.settle();
+  EXPECT_EQ(w.a->transport().local_path_count(), 1u);
+
+  ASSERT_TRUE(cam_raw->emit("image-out", jpeg_message()).ok());
+  w.settle();
+  EXPECT_EQ(disp_raw->count(), 1u);
+
+  // Remote disconnect tears the path down at A.
+  ASSERT_TRUE(w.b->transport().disconnect(path.value()).ok());
+  w.settle();
+  EXPECT_EQ(w.a->transport().local_path_count(), 0u);
+  ASSERT_TRUE(cam_raw->emit("image-out", jpeg_message()).ok());
+  w.settle();
+  EXPECT_EQ(disp_raw->count(), 1u);  // unchanged
+}
+
+TEST(TransportTest, DisconnectStopsDelivery) {
+  World w;
+  w.start_all();
+  auto cam = make_camera();
+  LambdaDevice* cam_raw = cam.get();
+  auto cam_id = w.a->map(std::move(cam)).take();
+  auto disp = make_display();
+  CollectorDevice* disp_raw = disp.get();
+  auto disp_id = w.a->map(std::move(disp)).take();
+  w.settle();
+
+  auto path = w.a->transport()
+                  .connect(PortRef{cam_id, "image-out"}, PortRef{disp_id, "image-in"})
+                  .take();
+  ASSERT_TRUE(cam_raw->emit("image-out", jpeg_message()).ok());
+  w.settle();
+  EXPECT_EQ(disp_raw->count(), 1u);
+
+  ASSERT_TRUE(w.a->transport().disconnect(path).ok());
+  EXPECT_FALSE(w.a->transport().disconnect(path).ok());  // double disconnect
+  ASSERT_TRUE(cam_raw->emit("image-out", jpeg_message()).ok());
+  w.settle();
+  EXPECT_EQ(disp_raw->count(), 1u);
+}
+
+// --- dynamic device binding (paper §3.5) ------------------------------------------------
+
+TEST(BindingTest, QueryPathBindsExistingAndFutureTranslators) {
+  World w;
+  w.start_all();
+  auto cam = make_camera();
+  LambdaDevice* cam_raw = cam.get();
+  auto cam_id = w.a->map(std::move(cam)).take();
+  auto disp1 = make_display("Display 1");
+  CollectorDevice* disp1_raw = disp1.get();
+  (void)w.a->map(std::move(disp1)).take();
+  w.settle();
+
+  Query tv_query = Query().digital_input(jpeg());
+  auto path = w.a->transport().connect(PortRef{cam_id, "image-out"}, tv_query);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(w.a->transport().bound_destinations(path.value()).size(), 1u);
+
+  ASSERT_TRUE(cam_raw->emit("image-out", jpeg_message()).ok());
+  w.settle();
+  EXPECT_EQ(disp1_raw->count(), 1u);
+
+  // A second display appears later — on another node — and is bound adaptively.
+  auto disp2 = make_display("Display 2");
+  CollectorDevice* disp2_raw = disp2.get();
+  auto disp2_id = w.b->map(std::move(disp2)).take();
+  w.settle();
+  EXPECT_EQ(w.a->transport().bound_destinations(path.value()).size(), 2u);
+
+  ASSERT_TRUE(cam_raw->emit("image-out", jpeg_message()).ok());
+  w.settle();
+  EXPECT_EQ(disp1_raw->count(), 2u);
+  EXPECT_EQ(disp2_raw->count(), 1u);
+
+  // Unmapping removes the binding; traffic continues to the survivor.
+  // (disp2_raw is dangling after unmap — the runtime owns translators.)
+  ASSERT_TRUE(w.b->unmap(disp2_id).ok());
+  w.settle();
+  EXPECT_EQ(w.a->transport().bound_destinations(path.value()).size(), 1u);
+  ASSERT_TRUE(cam_raw->emit("image-out", jpeg_message()).ok());
+  w.settle();
+  EXPECT_EQ(disp1_raw->count(), 3u);
+}
+
+TEST(BindingTest, QueryNeverBindsIncompatibleOrSelfPort) {
+  World w;
+  w.start_all();
+  // Echo device: jpeg in + jpeg out. A query path from its own output must not
+  // bind its own output, and must bind its own *input* (self-echo is legal —
+  // the paper's RMI benchmark sends a service's messages to itself).
+  Shape echo_shape;
+  ASSERT_TRUE(echo_shape.add(PortSpec{"in", PortKind::digital, Direction::input, jpeg(), ""}).ok());
+  ASSERT_TRUE(echo_shape.add(PortSpec{"out", PortKind::digital, Direction::output, jpeg(), ""}).ok());
+  auto echo = std::make_unique<CollectorDevice>("Echo", echo_shape);
+  CollectorDevice* echo_raw = echo.get();
+  auto echo_id = w.a->map(std::move(echo)).take();
+  // Incompatible sink that must never be bound.
+  (void)w.a->map(std::make_unique<CollectorDevice>(
+      "TextSink", make_sink_shape("text-in", MimeType::of("text/plain")))).take();
+  w.settle();
+
+  auto path = w.a->transport().connect(PortRef{echo_id, "out"}, Query().digital_input(jpeg()));
+  ASSERT_TRUE(path.ok());
+  auto bound = w.a->transport().bound_destinations(path.value());
+  ASSERT_EQ(bound.size(), 1u);
+  EXPECT_EQ(bound[0].port, "in");
+  EXPECT_EQ(bound[0].translator, echo_id);
+
+  ASSERT_TRUE(echo_raw->emit("out", jpeg_message()).ok());
+  w.settle();
+  EXPECT_EQ(echo_raw->count(), 1u);
+}
+
+TEST(BindingTest, QueryWithNoMatchesDeliversNothingUntilMatchAppears) {
+  World w;
+  w.start_all();
+  auto cam = make_camera();
+  LambdaDevice* cam_raw = cam.get();
+  auto cam_id = w.a->map(std::move(cam)).take();
+  w.settle();
+
+  auto path = w.a->transport().connect(PortRef{cam_id, "image-out"},
+                                       Query().digital_input(jpeg()));
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(w.a->transport().bound_destinations(path.value()).size(), 0u);
+  ASSERT_TRUE(cam_raw->emit("image-out", jpeg_message()).ok());
+  w.settle();
+
+  auto disp = make_display();
+  CollectorDevice* disp_raw = disp.get();
+  (void)w.a->map(std::move(disp)).take();
+  w.settle();
+  // The message emitted before the display existed is gone (no retroactive
+  // delivery); new messages flow.
+  EXPECT_EQ(disp_raw->count(), 0u);
+  ASSERT_TRUE(cam_raw->emit("image-out", jpeg_message()).ok());
+  w.settle();
+  EXPECT_EQ(disp_raw->count(), 1u);
+}
+
+TEST(BindingTest, SourceUnmapTearsDownPath) {
+  World w;
+  w.start_all();
+  auto cam_id = w.a->map(make_camera()).take();
+  auto disp_id = w.a->map(make_display()).take();
+  w.settle();
+  auto path = w.a->transport()
+                  .connect(PortRef{cam_id, "image-out"}, PortRef{disp_id, "image-in"})
+                  .take();
+  EXPECT_NE(w.a->transport().stats(path), nullptr);
+  ASSERT_TRUE(w.a->unmap(cam_id).ok());
+  w.settle();
+  EXPECT_EQ(w.a->transport().stats(path), nullptr);
+}
+
+// --- backpressure & QoS -----------------------------------------------------------------
+
+/// Sink whose readiness is controlled by the test; models a slow native
+/// protocol behind a translator (e.g. a synchronous RMI call in flight).
+class SlowSink : public Translator {
+ public:
+  explicit SlowSink(MimeType type)
+      : Translator("SlowSink", "umiddle", "umiddle:slow", make_sink_shape("in", type)) {}
+
+  Result<void> deliver(const std::string&, const Message& msg) override {
+    ++delivered;
+    bytes += msg.payload.size();
+    busy = true;  // one message at a time; test releases via release()
+    return ok_result();
+  }
+  bool ready(const std::string&) const override { return !busy; }
+  void release() {
+    busy = false;
+    runtime()->notify_ready(profile().id);
+  }
+
+  int delivered = 0;
+  std::size_t bytes = 0;
+  bool busy = false;
+};
+
+TEST(QosTest, BackpressureAccumulatesInTranslationBuffer) {
+  World w;
+  w.start_all();
+  auto cam = make_camera();
+  LambdaDevice* cam_raw = cam.get();
+  auto cam_id = w.a->map(std::move(cam)).take();
+  auto sink = std::make_unique<SlowSink>(jpeg());
+  SlowSink* sink_raw = sink.get();
+  auto sink_id = w.a->map(std::move(sink)).take();
+  w.settle();
+
+  auto path = w.a->transport()
+                  .connect(PortRef{cam_id, "image-out"}, PortRef{sink_id, "in"})
+                  .take();
+  // Burst of 10 messages into a sink that accepts one at a time.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cam_raw->emit("image-out", jpeg_message(1000)).ok());
+  }
+  w.settle();
+  EXPECT_EQ(sink_raw->delivered, 1);  // first delivered, sink now busy
+  const PathStats* stats = w.a->transport().stats(path);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->buffered_bytes, 9000u);  // the paper's §5.3 accumulation
+  EXPECT_GE(stats->max_buffered_bytes, 9000u);
+
+  // Releasing the sink drains one more each time.
+  for (int expected = 2; expected <= 10; ++expected) {
+    sink_raw->release();
+    w.settle();
+    EXPECT_EQ(sink_raw->delivered, expected);
+  }
+  EXPECT_EQ(w.a->transport().stats(path)->buffered_bytes, 0u);
+}
+
+TEST(QosTest, BoundedBufferDropsExcess) {
+  World w;
+  w.start_all();
+  auto cam = make_camera();
+  LambdaDevice* cam_raw = cam.get();
+  auto cam_id = w.a->map(std::move(cam)).take();
+  auto sink = std::make_unique<SlowSink>(jpeg());
+  SlowSink* sink_raw = sink.get();
+  auto sink_id = w.a->map(std::move(sink)).take();
+  w.settle();
+
+  QosPolicy policy;
+  policy.max_buffered_bytes = 3000;  // room for 3 × 1000 B
+  auto path = w.a->transport()
+                  .connect(PortRef{cam_id, "image-out"}, PortRef{sink_id, "in"}, policy)
+                  .take();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cam_raw->emit("image-out", jpeg_message(1000)).ok());
+  }
+  w.settle();
+  const PathStats* stats = w.a->transport().stats(path);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_LE(stats->max_buffered_bytes, 3000u);
+  EXPECT_GT(stats->messages_dropped, 0u);
+  // Everything not dropped is eventually delivered.
+  while (sink_raw->busy) {
+    sink_raw->release();
+    w.settle();
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(sink_raw->delivered) + stats->messages_dropped, 10u);
+}
+
+TEST(QosTest, TokenBucketShapesPathRate) {
+  World w;
+  w.start_all();
+  auto cam = make_camera();
+  LambdaDevice* cam_raw = cam.get();
+  auto cam_id = w.a->map(std::move(cam)).take();
+  auto disp = make_display();
+  CollectorDevice* disp_raw = disp.get();
+  auto disp_id = w.a->map(std::move(disp)).take();
+  w.settle();
+
+  QosPolicy policy;
+  policy.rate_bytes_per_sec = 10000.0;  // 10 kB/s
+  policy.burst_bytes = 1000;
+  (void)w.a->transport()
+      .connect(PortRef{cam_id, "image-out"}, PortRef{disp_id, "image-in"}, policy)
+      .take();
+
+  // 50 kB enqueued at t=0 must take ≈ (50-1)/10 ≈ 4.9 s to deliver.
+  sim::TimePoint start = w.sched.now();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(cam_raw->emit("image-out", jpeg_message(1000)).ok());
+  }
+  w.sched.run_for(seconds(2));
+  std::size_t after_2s = disp_raw->count();
+  EXPECT_GT(after_2s, 15u);
+  EXPECT_LT(after_2s, 30u);  // ≈ 21 (1 kB burst + 20 kB)
+  w.sched.run_for(seconds(10));
+  EXPECT_EQ(disp_raw->count(), 50u);
+  EXPECT_GT(w.sched.now() - start, seconds(4));
+}
+
+// --- instantiation cost (Fig. 10 plumbing) -------------------------------------------------
+
+TEST(RuntimeTest, InstantiateChargesVirtualTimeByShapeSize) {
+  World w;
+  w.start_all();
+
+  auto small = make_camera("Small");                 // 1 port
+  auto big = make_display("Big");                    // 2 ports
+  big->set_hierarchy_entities(2);
+
+  sim::TimePoint t0 = w.sched.now();
+  sim::TimePoint small_done{}, big_done{};
+  w.a->instantiate(std::move(small), [&](Result<TranslatorId> r) {
+    ASSERT_TRUE(r.ok());
+    small_done = w.sched.now();
+  });
+  w.b->instantiate(std::move(big), [&](Result<TranslatorId> r) {
+    ASSERT_TRUE(r.ok());
+    big_done = w.sched.now();
+  });
+  w.settle();
+
+  const CostModel& costs = w.a->costs();
+  EXPECT_EQ(small_done - t0, costs.instantiation_cost(1, 0));
+  EXPECT_EQ(big_done - t0, costs.instantiation_cost(2, 2));
+  EXPECT_GT(big_done, small_done);
+  EXPECT_EQ(w.a->directory().lookup(Query().name_contains("Small")).size(), 1u);
+}
+
+TEST(RuntimeTest, StopWithdrawsEverything) {
+  World w;
+  w.start_all();
+  auto id = w.a->map(make_camera()).take();
+  w.settle();
+  ASSERT_NE(w.b->directory().profile(id), nullptr);
+  w.a->stop();
+  w.settle();
+  EXPECT_EQ(w.b->directory().profile(id), nullptr);
+}
+
+TEST(RuntimeTest, MessageLatencyIncludesTranslationCost) {
+  World w;
+  w.start_all();
+  auto cam = make_camera();
+  LambdaDevice* cam_raw = cam.get();
+  auto cam_id = w.a->map(std::move(cam)).take();
+  auto disp = make_display();
+  CollectorDevice* disp_raw = disp.get();
+  auto disp_id = w.a->map(std::move(disp)).take();
+  w.settle();
+  (void)w.a->transport().connect(PortRef{cam_id, "image-out"}, PortRef{disp_id, "image-in"});
+
+  sim::TimePoint emitted = w.sched.now();
+  sim::TimePoint delivered{};
+  disp_raw->set_on_receive([&](const CollectorDevice::Received&) { delivered = w.sched.now(); });
+  ASSERT_TRUE(cam_raw->emit("image-out", jpeg_message(2048)).ok());
+  w.settle();
+  EXPECT_EQ(delivered - emitted, w.a->costs().translation_cost(2048));
+}
+
+}  // namespace
+}  // namespace umiddle::core

@@ -1,0 +1,289 @@
+// Whole-system integration tests: multiple runtimes, multiple platforms, one
+// intermediary semantic space — the scenarios the paper's §1/§4 describe.
+#include <gtest/gtest.h>
+
+#include "apps/g2ui.hpp"
+#include "apps/pads.hpp"
+#include "bluetooth/bip.hpp"
+#include "bluetooth/hidp.hpp"
+#include "bluetooth/mapper.hpp"
+#include "core/umiddle.hpp"
+#include "mediabroker/mapper.hpp"
+#include "motes/mapper.hpp"
+#include "rmi/mapper.hpp"
+#include "upnp/devices.hpp"
+#include "upnp/mapper.hpp"
+
+namespace umiddle {
+namespace {
+
+using sim::seconds;
+
+/// The paper's Figure 5 world: a Bluetooth camera imported by H1, a UPnP TV
+/// imported by H2, both visible from both runtimes.
+struct Figure5World {
+  sim::Scheduler sched;
+  net::Network net{sched, 1};
+  net::SegmentId lan;
+  std::unique_ptr<bt::BluetoothMedium> piconet;
+  std::unique_ptr<bt::BipCamera> camera;
+  std::unique_ptr<upnp::MediaRendererTv> tv;
+  core::UsdlLibrary library;
+  std::unique_ptr<core::Runtime> h1;
+  std::unique_ptr<core::Runtime> h2;
+
+  Figure5World() {
+    net::SegmentSpec spec;
+    spec.latency = sim::microseconds(100);
+    lan = net.add_segment(spec);
+    for (const char* h : {"h1", "h2", "tv-host"}) {
+      EXPECT_TRUE(net.add_host(h).ok());
+      EXPECT_TRUE(net.attach(h, lan).ok());
+    }
+    piconet = std::make_unique<bt::BluetoothMedium>(net);
+    camera = std::make_unique<bt::BipCamera>(*piconet, "Camera");
+    EXPECT_TRUE(camera->power_on().ok());
+    tv = std::make_unique<upnp::MediaRendererTv>(net, "tv-host", 8000, "TV");
+    EXPECT_TRUE(tv->start().ok());
+
+    bt::register_bt_usdl(library);
+    upnp::register_upnp_usdl(library);
+    h1 = std::make_unique<core::Runtime>(sched, net, "h1");
+    h1->add_mapper(std::make_unique<bt::BtMapper>(*piconet, library));
+    h2 = std::make_unique<core::Runtime>(sched, net, "h2");
+    h2->add_mapper(std::make_unique<upnp::UpnpMapper>(library));
+    EXPECT_TRUE(h1->start().ok());
+    EXPECT_TRUE(h2->start().ok());
+    sched.run_for(seconds(4));
+  }
+};
+
+TEST(Figure5Test, BothRuntimesSeeBothDevices) {
+  Figure5World w;
+  for (core::Runtime* node : {w.h1.get(), w.h2.get()}) {
+    EXPECT_EQ(node->directory().lookup(core::Query().platform("bluetooth")).size(), 1u);
+    EXPECT_EQ(node->directory().lookup(core::Query().platform("upnp")).size(), 1u);
+  }
+}
+
+TEST(Figure5Test, CameraImageCrossesPlatformsAndNodes) {
+  Figure5World w;
+  auto cameras = w.h1->directory().lookup(
+      core::Query().digital_output(MimeType::of("image/jpeg")));
+  ASSERT_EQ(cameras.size(), 1u);
+  // Dynamic path evaluated at H1 (the camera's host node).
+  auto path = w.h1->transport().connect(
+      core::PortRef{cameras[0].id, "image-out"},
+      core::Query().digital_input(MimeType::of("image/*")).platform("upnp"));
+  ASSERT_TRUE(path.ok());
+  w.camera->shutter(Bytes(30000, 0xD8), "fig5.jpg");
+  w.sched.run_for(seconds(3));
+  ASSERT_EQ(w.tv->rendered().size(), 1u);
+  EXPECT_EQ(w.tv->rendered()[0].name, "fig5.jpg");
+  EXPECT_EQ(w.tv->rendered()[0].bytes, 30000u);
+}
+
+TEST(Figure5Test, ConnectIssuedOnForeignNodeIsForwarded) {
+  Figure5World w;
+  auto cameras = w.h2->directory().lookup(core::Query().platform("bluetooth"));
+  auto tvs = w.h2->directory().lookup(core::Query().platform("upnp"));
+  ASSERT_EQ(cameras.size(), 1u);
+  ASSERT_EQ(tvs.size(), 1u);
+  // The application runs against H2; the source lives on H1 → CONNECT frame.
+  auto path = w.h2->transport().connect(core::PortRef{cameras[0].id, "image-out"},
+                                        core::PortRef{tvs[0].id, "image-in"});
+  ASSERT_TRUE(path.ok());
+  w.sched.run_for(seconds(1));
+  w.camera->shutter(Bytes(10000, 0xD8), "remote.jpg");
+  w.sched.run_for(seconds(3));
+  EXPECT_EQ(w.tv->rendered().size(), 1u);
+}
+
+TEST(Figure5Test, TvEventFlowsBackAcrossNodes) {
+  Figure5World w;
+  auto tvs = w.h1->directory().lookup(core::Query().platform("upnp"));
+  ASSERT_EQ(tvs.size(), 1u);
+  // A sink on H1 listening to the TV's rendered-out event port (hosted on H2).
+  auto sink = std::make_unique<core::CollectorDevice>(
+      "Log", core::make_sink_shape("in", MimeType::of("text/plain")));
+  core::CollectorDevice* sink_raw = sink.get();
+  auto sink_id = w.h1->map(std::move(sink)).take();
+  w.sched.run_for(seconds(1));
+  ASSERT_TRUE(w.h1->transport()
+                  .connect(core::PortRef{tvs[0].id, "rendered-out"},
+                           core::PortRef{sink_id, "in"})
+                  .ok());
+  w.sched.run_for(seconds(1));
+
+  auto cameras = w.h1->directory().lookup(core::Query().platform("bluetooth"));
+  ASSERT_TRUE(w.h1->transport()
+                  .connect(core::PortRef{cameras[0].id, "image-out"},
+                           core::PortRef{tvs[0].id, "image-in"})
+                  .ok());
+  w.camera->shutter(Bytes(5000, 0xD8), "event.jpg");
+  w.sched.run_for(seconds(3));
+  // RenderImage updated LastRendered → GENA → translator → UMTP → H1 sink.
+  ASSERT_GE(sink_raw->count(), 1u);
+  EXPECT_EQ(sink_raw->received().back().msg.body_text(), "event.jpg");
+}
+
+TEST(IntegrationTest, FivePlatformSmartSpace) {
+  // One runtime bridging UPnP + Bluetooth + RMI + MediaBroker + Motes at once.
+  sim::Scheduler sched;
+  net::Network net(sched, 1);
+  net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+  for (const char* h : {"node", "light-host", "mb-host", "rmi-host"}) {
+    ASSERT_TRUE(net.add_host(h).ok());
+    ASSERT_TRUE(net.attach(h, lan).ok());
+  }
+  upnp::BinaryLight light(net, "light-host");
+  ASSERT_TRUE(light.start().ok());
+  bt::BluetoothMedium piconet(net);
+  bt::HidMouse mouse(piconet);
+  ASSERT_TRUE(mouse.power_on().ok());
+  mb::MbServer mb_server(net, "mb-host");
+  ASSERT_TRUE(mb_server.start().ok());
+  mb::MbClient producer(net, "mb-host", mb_server.endpoint());
+  ASSERT_TRUE(producer.connect().ok());
+  ASSERT_TRUE(producer.produce("media", "application/octet-stream").ok());
+  rmi::RmiRegistry registry(net, "rmi-host");
+  ASSERT_TRUE(registry.start().ok());
+  rmi::RmiEchoService echo(net, "rmi-host", 2001, "echo1", registry.endpoint());
+  ASSERT_TRUE(echo.start().ok());
+  motes::MoteField field(net, 0.0);
+  motes::Mote mote(field, 5, motes::SensorKind::light, sim::milliseconds(500));
+  ASSERT_TRUE(mote.start().ok());
+
+  core::UsdlLibrary library;
+  upnp::register_upnp_usdl(library);
+  bt::register_bt_usdl(library);
+  mb::register_mb_usdl(library);
+  rmi::register_rmi_usdl(library);
+  motes::register_motes_usdl(library);
+
+  core::Runtime runtime(sched, net, "node");
+  runtime.add_mapper(std::make_unique<upnp::UpnpMapper>(library));
+  runtime.add_mapper(std::make_unique<bt::BtMapper>(piconet, library));
+  runtime.add_mapper(std::make_unique<mb::MbMapper>(mb_server.endpoint(), library));
+  runtime.add_mapper(std::make_unique<rmi::RmiMapper>(registry.endpoint(), library));
+  runtime.add_mapper(std::make_unique<motes::MoteMapper>(field, library));
+  ASSERT_TRUE(runtime.start().ok());
+  sched.run_for(seconds(6));
+
+  // Every platform contributed exactly one translator.
+  for (const char* platform : {"upnp", "bluetooth", "mb", "rmi", "motes"}) {
+    EXPECT_EQ(runtime.directory().lookup(core::Query().platform(platform)).size(), 1u)
+        << platform;
+  }
+  EXPECT_EQ(runtime.directory().lookup(core::Query()).size(), 5u);
+}
+
+TEST(IntegrationTest, DeviceChurnKeepsDirectoryConsistent) {
+  sim::Scheduler sched;
+  net::Network net(sched, 1);
+  net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+  ASSERT_TRUE(net.add_host("node").ok());
+  ASSERT_TRUE(net.attach("node", lan).ok());
+  bt::BluetoothMedium piconet(net);
+  core::UsdlLibrary library;
+  bt::register_bt_usdl(library);
+  core::Runtime runtime(sched, net, "node");
+  runtime.add_mapper(std::make_unique<bt::BtMapper>(piconet, library));
+  ASSERT_TRUE(runtime.start().ok());
+
+  bt::BipCamera camera(piconet);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ASSERT_TRUE(camera.power_on().ok());
+    sched.run_for(seconds(2));
+    ASSERT_EQ(runtime.directory().lookup(core::Query().platform("bluetooth")).size(), 1u)
+        << "cycle " << cycle;
+    camera.power_off();
+    sched.run_for(seconds(1));
+    ASSERT_EQ(runtime.directory().lookup(core::Query().platform("bluetooth")).size(), 0u)
+        << "cycle " << cycle;
+  }
+}
+
+TEST(IntegrationTest, QueryPathSurvivesChurnAndKeepsDelivering) {
+  Figure5World w;
+  auto cameras = w.h1->directory().lookup(core::Query().platform("bluetooth"));
+  ASSERT_EQ(cameras.size(), 1u);
+  auto path = w.h1->transport().connect(
+      core::PortRef{cameras[0].id, "image-out"},
+      core::Query().digital_input(MimeType::of("image/*")));
+  ASSERT_TRUE(path.ok());
+
+  w.camera->shutter(Bytes(4000, 1), "a.jpg");
+  w.sched.run_for(seconds(3));
+  EXPECT_EQ(w.tv->rendered().size(), 1u);
+
+  // TV reboots: byebye + fresh alive → re-bound automatically.
+  w.tv->stop();
+  w.sched.run_for(seconds(2));
+  EXPECT_EQ(w.h1->transport().bound_destinations(path.value()).size(), 0u);
+  ASSERT_TRUE(w.tv->start().ok());
+  w.sched.run_for(seconds(3));
+  ASSERT_EQ(w.h1->transport().bound_destinations(path.value()).size(), 1u);
+  w.camera->shutter(Bytes(4000, 2), "b.jpg");
+  w.sched.run_for(seconds(3));
+  EXPECT_EQ(w.tv->rendered().size(), 2u);
+}
+
+TEST(IntegrationTest, FiveMinuteSoakWithChurnLeavesNoResidue) {
+  // 5 virtual minutes of a live space: a camera that keeps leaving/returning,
+  // a mouse clicking away, periodic query paths made and dropped. At the end,
+  // the directory and transport must be exactly as clean as at the start.
+  Figure5World w;
+  bt::HidMouse mouse(*w.piconet);
+  ASSERT_TRUE(mouse.power_on().ok());
+  w.sched.run_for(seconds(3));
+
+  std::size_t baseline_paths = w.h1->transport().local_path_count();
+  for (int minute = 0; minute < 5; ++minute) {
+    // Compose the camera to everything image-shaped, shoot, then disconnect.
+    auto cams = w.h1->directory().lookup(core::Query().platform("bluetooth")
+                                             .digital_output(MimeType::of("image/*")));
+    ASSERT_FALSE(cams.empty());
+    auto path = w.h1->transport().connect(
+        core::PortRef{cams[0].id, "image-out"},
+        core::Query().digital_input(MimeType::of("image/*")));
+    ASSERT_TRUE(path.ok());
+    w.camera->shutter(Bytes(8000, static_cast<std::uint8_t>(minute)), "soak.jpg");
+    mouse.click();
+    w.sched.run_for(seconds(20));
+    ASSERT_TRUE(w.h1->transport().disconnect(path.value()).ok());
+
+    // Camera leaves and returns (rediscovery + fresh translator id).
+    w.camera->power_off();
+    w.sched.run_for(seconds(20));
+    ASSERT_TRUE(w.camera->power_on().ok());
+    w.sched.run_for(seconds(20));
+  }
+  EXPECT_EQ(w.tv->rendered().size(), 5u);
+  EXPECT_EQ(w.h1->transport().local_path_count(), baseline_paths);
+  // Exactly one camera, one TV, one mouse translator remain.
+  EXPECT_EQ(w.h1->directory().lookup(core::Query().platform("bluetooth")).size(), 2u);
+  EXPECT_EQ(w.h1->directory().lookup(core::Query().platform("upnp")).size(), 1u);
+  EXPECT_EQ(w.h1->directory().known_translators(),
+            w.h2->directory().known_translators());
+}
+
+TEST(IntegrationTest, PadsAndG2UiShareOneSemanticSpace) {
+  Figure5World w;
+  apps::Pads pads(*w.h1);
+  ASSERT_EQ(pads.icons().size(), 2u);
+
+  apps::G2UI atlas(*w.h1, 5.0);
+  auto cameras = w.h1->directory().lookup(core::Query().platform("bluetooth"));
+  auto tvs = w.h1->directory().lookup(core::Query().platform("upnp"));
+  ASSERT_TRUE(atlas.place(cameras[0].id, {0, 0}).ok());
+  ASSERT_TRUE(atlas.place(tvs[0].id, {1, 1}).ok());
+  ASSERT_EQ(atlas.sessions().size(), 1u);
+
+  w.camera->shutter(Bytes(2000, 3), "geo.jpg");
+  w.sched.run_for(seconds(3));
+  EXPECT_EQ(w.tv->rendered().size(), 1u);
+}
+
+}  // namespace
+}  // namespace umiddle

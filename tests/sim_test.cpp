@@ -1,0 +1,162 @@
+// Unit tests for the discrete-event scheduler: ordering, cancellation, run modes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace umiddle::sim {
+namespace {
+
+TEST(SchedulerTest, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), TimePoint(0));
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTest, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_after(milliseconds(30), [&] { order.push_back(3); });
+  s.schedule_after(milliseconds(10), [&] { order.push_back(1); });
+  s.schedule_after(milliseconds(20), [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), milliseconds(30));
+}
+
+TEST(SchedulerTest, EqualTimesFireInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    s.schedule_after(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerTest, PostRunsAtCurrentTime) {
+  Scheduler s;
+  s.schedule_after(seconds(1), [] {});
+  bool ran = false;
+  s.post([&] { ran = true; });
+  s.step();  // post fires first (time 0 < 1s)
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.now(), TimePoint(0));
+}
+
+TEST(SchedulerTest, EventsMayScheduleEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) s.schedule_after(milliseconds(1), chain);
+  };
+  s.schedule_after(milliseconds(1), chain);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), milliseconds(5));
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  EventHandle h = s.schedule_after(milliseconds(1), [&] { ran = true; });
+  s.cancel(h);
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, CancelIsIdempotentAndSafeAfterFire) {
+  Scheduler s;
+  int count = 0;
+  EventHandle h = s.schedule_after(milliseconds(1), [&] { ++count; });
+  s.run();
+  s.cancel(h);  // already fired: no-op
+  s.cancel(EventHandle{});  // invalid: no-op
+  s.schedule_after(milliseconds(1), [&] { ++count; });
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  std::vector<int> fired;
+  s.schedule_after(milliseconds(10), [&] { fired.push_back(1); });
+  s.schedule_after(milliseconds(30), [&] { fired.push_back(2); });
+  EXPECT_EQ(s.run_until(milliseconds(20)), 1u);
+  EXPECT_EQ(fired, std::vector<int>{1});
+  EXPECT_EQ(s.now(), milliseconds(20));  // time advances to deadline
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerTest, RunUntilInclusiveOfDeadline) {
+  Scheduler s;
+  bool ran = false;
+  s.schedule_after(milliseconds(20), [&] { ran = true; });
+  s.run_until(milliseconds(20));
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, RunForAdvancesRelative) {
+  Scheduler s;
+  s.run_for(milliseconds(15));
+  EXPECT_EQ(s.now(), milliseconds(15));
+  s.run_for(milliseconds(15));
+  EXPECT_EQ(s.now(), milliseconds(30));
+}
+
+TEST(SchedulerTest, PastScheduleClampsToNow) {
+  Scheduler s;
+  s.run_for(seconds(1));
+  bool ran = false;
+  s.schedule_at(milliseconds(1), [&] { ran = true; });  // in the past
+  s.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.now(), seconds(1));
+}
+
+TEST(SchedulerTest, NegativeDelayClampsToNow) {
+  Scheduler s;
+  bool ran = false;
+  s.schedule_after(milliseconds(-5), [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, StepProcessesExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.post([&] { ++count; });
+  s.post([&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SchedulerTest, DurationHelpers) {
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+  EXPECT_EQ(microseconds(1), nanoseconds(1000));
+  EXPECT_DOUBLE_EQ(to_seconds(milliseconds(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(microseconds(2500)), 2.5);
+}
+
+TEST(SchedulerTest, CancelledEventsDoNotBlockRunUntil) {
+  Scheduler s;
+  EventHandle h = s.schedule_after(milliseconds(5), [] {});
+  bool ran = false;
+  s.schedule_after(milliseconds(50), [&] { ran = true; });
+  s.cancel(h);
+  s.run_until(milliseconds(10));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_until(milliseconds(60));
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace umiddle::sim
