@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_device_bridging.dir/bench_device_bridging.cpp.o"
+  "CMakeFiles/bench_device_bridging.dir/bench_device_bridging.cpp.o.d"
+  "bench_device_bridging"
+  "bench_device_bridging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_device_bridging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

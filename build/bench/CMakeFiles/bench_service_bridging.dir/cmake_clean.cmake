@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_service_bridging.dir/bench_service_bridging.cpp.o"
+  "CMakeFiles/bench_service_bridging.dir/bench_service_bridging.cpp.o.d"
+  "bench_service_bridging"
+  "bench_service_bridging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_service_bridging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

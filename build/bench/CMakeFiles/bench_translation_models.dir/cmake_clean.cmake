@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_translation_models.dir/bench_translation_models.cpp.o"
+  "CMakeFiles/bench_translation_models.dir/bench_translation_models.cpp.o.d"
+  "bench_translation_models"
+  "bench_translation_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_translation_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transport_bridging.dir/bench_transport_bridging.cpp.o"
+  "CMakeFiles/bench_transport_bridging.dir/bench_transport_bridging.cpp.o.d"
+  "bench_transport_bridging"
+  "bench_transport_bridging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transport_bridging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

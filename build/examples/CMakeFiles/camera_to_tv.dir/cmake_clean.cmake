@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_to_tv.dir/camera_to_tv.cpp.o"
+  "CMakeFiles/camera_to_tv.dir/camera_to_tv.cpp.o.d"
+  "camera_to_tv"
+  "camera_to_tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_to_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

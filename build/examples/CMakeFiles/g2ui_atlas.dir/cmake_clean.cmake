@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g2ui_atlas.dir/g2ui_atlas.cpp.o"
+  "CMakeFiles/g2ui_atlas.dir/g2ui_atlas.cpp.o.d"
+  "g2ui_atlas"
+  "g2ui_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g2ui_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pads_demo.cpp" "examples/CMakeFiles/pads_demo.dir/pads_demo.cpp.o" "gcc" "examples/CMakeFiles/pads_demo.dir/pads_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/um_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/upnp/CMakeFiles/um_upnp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bluetooth/CMakeFiles/um_bluetooth.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmi/CMakeFiles/um_rmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mediabroker/CMakeFiles/um_mediabroker.dir/DependInfo.cmake"
+  "/root/repo/build/src/motes/CMakeFiles/um_motes.dir/DependInfo.cmake"
+  "/root/repo/build/src/webservice/CMakeFiles/um_webservice.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/um_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/um_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/um_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/um_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/um_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pads_demo.dir/pads_demo.cpp.o"
+  "CMakeFiles/pads_demo.dir/pads_demo.cpp.o.d"
+  "pads_demo"
+  "pads_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pads_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_classroom.dir/smart_classroom.cpp.o"
+  "CMakeFiles/smart_classroom.dir/smart_classroom.cpp.o.d"
+  "smart_classroom"
+  "smart_classroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_classroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

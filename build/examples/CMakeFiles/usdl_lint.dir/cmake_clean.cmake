@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usdl_lint.dir/usdl_lint.cpp.o"
+  "CMakeFiles/usdl_lint.dir/usdl_lint.cpp.o.d"
+  "usdl_lint"
+  "usdl_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usdl_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_apps.dir/g2ui.cpp.o"
+  "CMakeFiles/um_apps.dir/g2ui.cpp.o.d"
+  "CMakeFiles/um_apps.dir/pads.cpp.o"
+  "CMakeFiles/um_apps.dir/pads.cpp.o.d"
+  "libum_apps.a"
+  "libum_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bluetooth/bip.cpp" "src/bluetooth/CMakeFiles/um_bluetooth.dir/bip.cpp.o" "gcc" "src/bluetooth/CMakeFiles/um_bluetooth.dir/bip.cpp.o.d"
+  "/root/repo/src/bluetooth/hidp.cpp" "src/bluetooth/CMakeFiles/um_bluetooth.dir/hidp.cpp.o" "gcc" "src/bluetooth/CMakeFiles/um_bluetooth.dir/hidp.cpp.o.d"
+  "/root/repo/src/bluetooth/mapper.cpp" "src/bluetooth/CMakeFiles/um_bluetooth.dir/mapper.cpp.o" "gcc" "src/bluetooth/CMakeFiles/um_bluetooth.dir/mapper.cpp.o.d"
+  "/root/repo/src/bluetooth/medium.cpp" "src/bluetooth/CMakeFiles/um_bluetooth.dir/medium.cpp.o" "gcc" "src/bluetooth/CMakeFiles/um_bluetooth.dir/medium.cpp.o.d"
+  "/root/repo/src/bluetooth/obex.cpp" "src/bluetooth/CMakeFiles/um_bluetooth.dir/obex.cpp.o" "gcc" "src/bluetooth/CMakeFiles/um_bluetooth.dir/obex.cpp.o.d"
+  "/root/repo/src/bluetooth/sdp.cpp" "src/bluetooth/CMakeFiles/um_bluetooth.dir/sdp.cpp.o" "gcc" "src/bluetooth/CMakeFiles/um_bluetooth.dir/sdp.cpp.o.d"
+  "/root/repo/src/bluetooth/usdl_docs.cpp" "src/bluetooth/CMakeFiles/um_bluetooth.dir/usdl_docs.cpp.o" "gcc" "src/bluetooth/CMakeFiles/um_bluetooth.dir/usdl_docs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/um_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/um_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/um_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/um_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/um_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_bluetooth.dir/bip.cpp.o"
+  "CMakeFiles/um_bluetooth.dir/bip.cpp.o.d"
+  "CMakeFiles/um_bluetooth.dir/hidp.cpp.o"
+  "CMakeFiles/um_bluetooth.dir/hidp.cpp.o.d"
+  "CMakeFiles/um_bluetooth.dir/mapper.cpp.o"
+  "CMakeFiles/um_bluetooth.dir/mapper.cpp.o.d"
+  "CMakeFiles/um_bluetooth.dir/medium.cpp.o"
+  "CMakeFiles/um_bluetooth.dir/medium.cpp.o.d"
+  "CMakeFiles/um_bluetooth.dir/obex.cpp.o"
+  "CMakeFiles/um_bluetooth.dir/obex.cpp.o.d"
+  "CMakeFiles/um_bluetooth.dir/sdp.cpp.o"
+  "CMakeFiles/um_bluetooth.dir/sdp.cpp.o.d"
+  "CMakeFiles/um_bluetooth.dir/usdl_docs.cpp.o"
+  "CMakeFiles/um_bluetooth.dir/usdl_docs.cpp.o.d"
+  "libum_bluetooth.a"
+  "libum_bluetooth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_bluetooth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/base64.cpp" "src/common/CMakeFiles/um_common.dir/base64.cpp.o" "gcc" "src/common/CMakeFiles/um_common.dir/base64.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/common/CMakeFiles/um_common.dir/bytes.cpp.o" "gcc" "src/common/CMakeFiles/um_common.dir/bytes.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/um_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/um_common.dir/log.cpp.o.d"
+  "/root/repo/src/common/mime.cpp" "src/common/CMakeFiles/um_common.dir/mime.cpp.o" "gcc" "src/common/CMakeFiles/um_common.dir/mime.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/common/CMakeFiles/um_common.dir/strings.cpp.o" "gcc" "src/common/CMakeFiles/um_common.dir/strings.cpp.o.d"
+  "/root/repo/src/common/uri.cpp" "src/common/CMakeFiles/um_common.dir/uri.cpp.o" "gcc" "src/common/CMakeFiles/um_common.dir/uri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_common.dir/base64.cpp.o"
+  "CMakeFiles/um_common.dir/base64.cpp.o.d"
+  "CMakeFiles/um_common.dir/bytes.cpp.o"
+  "CMakeFiles/um_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/um_common.dir/log.cpp.o"
+  "CMakeFiles/um_common.dir/log.cpp.o.d"
+  "CMakeFiles/um_common.dir/mime.cpp.o"
+  "CMakeFiles/um_common.dir/mime.cpp.o.d"
+  "CMakeFiles/um_common.dir/strings.cpp.o"
+  "CMakeFiles/um_common.dir/strings.cpp.o.d"
+  "CMakeFiles/um_common.dir/uri.cpp.o"
+  "CMakeFiles/um_common.dir/uri.cpp.o.d"
+  "libum_common.a"
+  "libum_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/directory.cpp" "src/core/CMakeFiles/um_core.dir/directory.cpp.o" "gcc" "src/core/CMakeFiles/um_core.dir/directory.cpp.o.d"
+  "/root/repo/src/core/native_device.cpp" "src/core/CMakeFiles/um_core.dir/native_device.cpp.o" "gcc" "src/core/CMakeFiles/um_core.dir/native_device.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/um_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/um_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/qos.cpp" "src/core/CMakeFiles/um_core.dir/qos.cpp.o" "gcc" "src/core/CMakeFiles/um_core.dir/qos.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/um_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/um_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/shape.cpp" "src/core/CMakeFiles/um_core.dir/shape.cpp.o" "gcc" "src/core/CMakeFiles/um_core.dir/shape.cpp.o.d"
+  "/root/repo/src/core/translator.cpp" "src/core/CMakeFiles/um_core.dir/translator.cpp.o" "gcc" "src/core/CMakeFiles/um_core.dir/translator.cpp.o.d"
+  "/root/repo/src/core/transport.cpp" "src/core/CMakeFiles/um_core.dir/transport.cpp.o" "gcc" "src/core/CMakeFiles/um_core.dir/transport.cpp.o.d"
+  "/root/repo/src/core/umtp.cpp" "src/core/CMakeFiles/um_core.dir/umtp.cpp.o" "gcc" "src/core/CMakeFiles/um_core.dir/umtp.cpp.o.d"
+  "/root/repo/src/core/usdl.cpp" "src/core/CMakeFiles/um_core.dir/usdl.cpp.o" "gcc" "src/core/CMakeFiles/um_core.dir/usdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/um_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/um_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/um_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/um_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_core.dir/directory.cpp.o"
+  "CMakeFiles/um_core.dir/directory.cpp.o.d"
+  "CMakeFiles/um_core.dir/native_device.cpp.o"
+  "CMakeFiles/um_core.dir/native_device.cpp.o.d"
+  "CMakeFiles/um_core.dir/profile.cpp.o"
+  "CMakeFiles/um_core.dir/profile.cpp.o.d"
+  "CMakeFiles/um_core.dir/qos.cpp.o"
+  "CMakeFiles/um_core.dir/qos.cpp.o.d"
+  "CMakeFiles/um_core.dir/runtime.cpp.o"
+  "CMakeFiles/um_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/um_core.dir/shape.cpp.o"
+  "CMakeFiles/um_core.dir/shape.cpp.o.d"
+  "CMakeFiles/um_core.dir/translator.cpp.o"
+  "CMakeFiles/um_core.dir/translator.cpp.o.d"
+  "CMakeFiles/um_core.dir/transport.cpp.o"
+  "CMakeFiles/um_core.dir/transport.cpp.o.d"
+  "CMakeFiles/um_core.dir/umtp.cpp.o"
+  "CMakeFiles/um_core.dir/umtp.cpp.o.d"
+  "CMakeFiles/um_core.dir/usdl.cpp.o"
+  "CMakeFiles/um_core.dir/usdl.cpp.o.d"
+  "libum_core.a"
+  "libum_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mediabroker/client.cpp" "src/mediabroker/CMakeFiles/um_mediabroker.dir/client.cpp.o" "gcc" "src/mediabroker/CMakeFiles/um_mediabroker.dir/client.cpp.o.d"
+  "/root/repo/src/mediabroker/mapper.cpp" "src/mediabroker/CMakeFiles/um_mediabroker.dir/mapper.cpp.o" "gcc" "src/mediabroker/CMakeFiles/um_mediabroker.dir/mapper.cpp.o.d"
+  "/root/repo/src/mediabroker/protocol.cpp" "src/mediabroker/CMakeFiles/um_mediabroker.dir/protocol.cpp.o" "gcc" "src/mediabroker/CMakeFiles/um_mediabroker.dir/protocol.cpp.o.d"
+  "/root/repo/src/mediabroker/server.cpp" "src/mediabroker/CMakeFiles/um_mediabroker.dir/server.cpp.o" "gcc" "src/mediabroker/CMakeFiles/um_mediabroker.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/um_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/um_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/um_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/um_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/um_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_mediabroker.dir/client.cpp.o"
+  "CMakeFiles/um_mediabroker.dir/client.cpp.o.d"
+  "CMakeFiles/um_mediabroker.dir/mapper.cpp.o"
+  "CMakeFiles/um_mediabroker.dir/mapper.cpp.o.d"
+  "CMakeFiles/um_mediabroker.dir/protocol.cpp.o"
+  "CMakeFiles/um_mediabroker.dir/protocol.cpp.o.d"
+  "CMakeFiles/um_mediabroker.dir/server.cpp.o"
+  "CMakeFiles/um_mediabroker.dir/server.cpp.o.d"
+  "libum_mediabroker.a"
+  "libum_mediabroker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_mediabroker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

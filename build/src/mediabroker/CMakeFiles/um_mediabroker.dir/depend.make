@@ -1,0 +1,2 @@
+# Empty dependencies file for um_mediabroker.
+# This may be replaced when dependencies are built.

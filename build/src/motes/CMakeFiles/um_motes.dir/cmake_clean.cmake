@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_motes.dir/mapper.cpp.o"
+  "CMakeFiles/um_motes.dir/mapper.cpp.o.d"
+  "CMakeFiles/um_motes.dir/motes.cpp.o"
+  "CMakeFiles/um_motes.dir/motes.cpp.o.d"
+  "libum_motes.a"
+  "libum_motes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_motes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_netsim.dir/network.cpp.o"
+  "CMakeFiles/um_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/um_netsim.dir/stream.cpp.o"
+  "CMakeFiles/um_netsim.dir/stream.cpp.o.d"
+  "libum_netsim.a"
+  "libum_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_rmi.dir/mapper.cpp.o"
+  "CMakeFiles/um_rmi.dir/mapper.cpp.o.d"
+  "CMakeFiles/um_rmi.dir/protocol.cpp.o"
+  "CMakeFiles/um_rmi.dir/protocol.cpp.o.d"
+  "CMakeFiles/um_rmi.dir/registry.cpp.o"
+  "CMakeFiles/um_rmi.dir/registry.cpp.o.d"
+  "CMakeFiles/um_rmi.dir/service.cpp.o"
+  "CMakeFiles/um_rmi.dir/service.cpp.o.d"
+  "libum_rmi.a"
+  "libum_rmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_rmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/um_sim.dir/scheduler.cpp.o.d"
+  "libum_sim.a"
+  "libum_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/upnp/control_point.cpp" "src/upnp/CMakeFiles/um_upnp.dir/control_point.cpp.o" "gcc" "src/upnp/CMakeFiles/um_upnp.dir/control_point.cpp.o.d"
+  "/root/repo/src/upnp/description.cpp" "src/upnp/CMakeFiles/um_upnp.dir/description.cpp.o" "gcc" "src/upnp/CMakeFiles/um_upnp.dir/description.cpp.o.d"
+  "/root/repo/src/upnp/device.cpp" "src/upnp/CMakeFiles/um_upnp.dir/device.cpp.o" "gcc" "src/upnp/CMakeFiles/um_upnp.dir/device.cpp.o.d"
+  "/root/repo/src/upnp/devices.cpp" "src/upnp/CMakeFiles/um_upnp.dir/devices.cpp.o" "gcc" "src/upnp/CMakeFiles/um_upnp.dir/devices.cpp.o.d"
+  "/root/repo/src/upnp/gena.cpp" "src/upnp/CMakeFiles/um_upnp.dir/gena.cpp.o" "gcc" "src/upnp/CMakeFiles/um_upnp.dir/gena.cpp.o.d"
+  "/root/repo/src/upnp/http.cpp" "src/upnp/CMakeFiles/um_upnp.dir/http.cpp.o" "gcc" "src/upnp/CMakeFiles/um_upnp.dir/http.cpp.o.d"
+  "/root/repo/src/upnp/mapper.cpp" "src/upnp/CMakeFiles/um_upnp.dir/mapper.cpp.o" "gcc" "src/upnp/CMakeFiles/um_upnp.dir/mapper.cpp.o.d"
+  "/root/repo/src/upnp/soap.cpp" "src/upnp/CMakeFiles/um_upnp.dir/soap.cpp.o" "gcc" "src/upnp/CMakeFiles/um_upnp.dir/soap.cpp.o.d"
+  "/root/repo/src/upnp/ssdp.cpp" "src/upnp/CMakeFiles/um_upnp.dir/ssdp.cpp.o" "gcc" "src/upnp/CMakeFiles/um_upnp.dir/ssdp.cpp.o.d"
+  "/root/repo/src/upnp/usdl_docs.cpp" "src/upnp/CMakeFiles/um_upnp.dir/usdl_docs.cpp.o" "gcc" "src/upnp/CMakeFiles/um_upnp.dir/usdl_docs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/um_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/um_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/um_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/um_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/um_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_upnp.dir/control_point.cpp.o"
+  "CMakeFiles/um_upnp.dir/control_point.cpp.o.d"
+  "CMakeFiles/um_upnp.dir/description.cpp.o"
+  "CMakeFiles/um_upnp.dir/description.cpp.o.d"
+  "CMakeFiles/um_upnp.dir/device.cpp.o"
+  "CMakeFiles/um_upnp.dir/device.cpp.o.d"
+  "CMakeFiles/um_upnp.dir/devices.cpp.o"
+  "CMakeFiles/um_upnp.dir/devices.cpp.o.d"
+  "CMakeFiles/um_upnp.dir/gena.cpp.o"
+  "CMakeFiles/um_upnp.dir/gena.cpp.o.d"
+  "CMakeFiles/um_upnp.dir/http.cpp.o"
+  "CMakeFiles/um_upnp.dir/http.cpp.o.d"
+  "CMakeFiles/um_upnp.dir/mapper.cpp.o"
+  "CMakeFiles/um_upnp.dir/mapper.cpp.o.d"
+  "CMakeFiles/um_upnp.dir/soap.cpp.o"
+  "CMakeFiles/um_upnp.dir/soap.cpp.o.d"
+  "CMakeFiles/um_upnp.dir/ssdp.cpp.o"
+  "CMakeFiles/um_upnp.dir/ssdp.cpp.o.d"
+  "CMakeFiles/um_upnp.dir/usdl_docs.cpp.o"
+  "CMakeFiles/um_upnp.dir/usdl_docs.cpp.o.d"
+  "libum_upnp.a"
+  "libum_upnp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_upnp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

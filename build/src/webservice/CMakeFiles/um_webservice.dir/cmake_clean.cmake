@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_webservice.dir/mapper.cpp.o"
+  "CMakeFiles/um_webservice.dir/mapper.cpp.o.d"
+  "CMakeFiles/um_webservice.dir/registry.cpp.o"
+  "CMakeFiles/um_webservice.dir/registry.cpp.o.d"
+  "CMakeFiles/um_webservice.dir/service.cpp.o"
+  "CMakeFiles/um_webservice.dir/service.cpp.o.d"
+  "libum_webservice.a"
+  "libum_webservice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_webservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

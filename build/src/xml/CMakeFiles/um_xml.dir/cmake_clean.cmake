@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/um_xml.dir/parser.cpp.o"
+  "CMakeFiles/um_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/um_xml.dir/xml.cpp.o"
+  "CMakeFiles/um_xml.dir/xml.cpp.o.d"
+  "libum_xml.a"
+  "libum_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/um_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluetooth_test.dir/bluetooth_test.cpp.o"
+  "CMakeFiles/bluetooth_test.dir/bluetooth_test.cpp.o.d"
+  "bluetooth_test"
+  "bluetooth_test.pdb"
+  "bluetooth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluetooth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

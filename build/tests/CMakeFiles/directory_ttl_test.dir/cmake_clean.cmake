@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_ttl_test.dir/directory_ttl_test.cpp.o"
+  "CMakeFiles/directory_ttl_test.dir/directory_ttl_test.cpp.o.d"
+  "directory_ttl_test"
+  "directory_ttl_test.pdb"
+  "directory_ttl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_ttl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upnp_test.dir/upnp_test.cpp.o"
+  "CMakeFiles/upnp_test.dir/upnp_test.cpp.o.d"
+  "upnp_test"
+  "upnp_test.pdb"
+  "upnp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upnp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webservice_test.dir/webservice_test.cpp.o"
+  "CMakeFiles/webservice_test.dir/webservice_test.cpp.o.d"
+  "webservice_test"
+  "webservice_test.pdb"
+  "webservice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webservice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/shape_usdl_test[1]_include.cmake")
+include("/root/repo/build/tests/core_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/upnp_test[1]_include.cmake")
+include("/root/repo/build/tests/bluetooth_test[1]_include.cmake")
+include("/root/repo/build/tests/platforms_test[1]_include.cmake")
+include("/root/repo/build/tests/webservice_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/directory_ttl_test[1]_include.cmake")
