@@ -38,9 +38,9 @@ class G2UI final : public core::DirectoryListener {
   G2UI& operator=(const G2UI&) = delete;
 
   /// Register a gadget at a location. The translator must be in the directory.
-  Result<void> place(TranslatorId gadget, GeoPoint at);
+  [[nodiscard]] Result<void> place(TranslatorId gadget, GeoPoint at);
   /// Move a gadget; co-location sessions are re-evaluated.
-  Result<void> move(TranslatorId gadget, GeoPoint to);
+  [[nodiscard]] Result<void> move(TranslatorId gadget, GeoPoint to);
   /// Remove a gadget from the space (its sessions end).
   void remove(TranslatorId gadget);
 

@@ -27,7 +27,7 @@ class Pads final : public core::DirectoryListener {
   /// All known translators, sorted by name (stable icon order).
   std::vector<core::TranslatorProfile> icons() const;
   /// Resolve an icon by (unique) name; error when absent or ambiguous.
-  Result<core::TranslatorProfile> icon(const std::string& name) const;
+  [[nodiscard]] Result<core::TranslatorProfile> icon(const std::string& name) const;
 
   // --- (2) hot-wiring ----------------------------------------------------------
   struct WireRef {
@@ -36,13 +36,13 @@ class Pads final : public core::DirectoryListener {
   };
 
   /// Draw a wire between two named icons' ports.
-  Result<PathId> wire(const std::string& src_icon, const std::string& src_port,
+  [[nodiscard]] Result<PathId> wire(const std::string& src_icon, const std::string& src_port,
                       const std::string& dst_icon, const std::string& dst_port,
                       core::QosPolicy qos = {});
   /// Draw a dynamic wire: src port to every icon matching the query (§3.5).
-  Result<PathId> wire_to_query(const std::string& src_icon, const std::string& src_port,
+  [[nodiscard]] Result<PathId> wire_to_query(const std::string& src_icon, const std::string& src_port,
                                core::Query query, core::QosPolicy qos = {});
-  Result<void> unwire(PathId path);
+  [[nodiscard]] Result<void> unwire(PathId path);
   const std::vector<WireRef>& wires() const { return wires_; }
 
   // --- (3) rendering -----------------------------------------------------------

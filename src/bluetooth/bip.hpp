@@ -37,7 +37,7 @@ class BipCamera : public BtDevice {
   bool has_push_target() const { return push_target_.has_value(); }
 
  protected:
-  Result<void> on_power_on() override;
+  [[nodiscard]] Result<void> on_power_on() override;
 
  private:
   struct PushTarget {
@@ -63,7 +63,7 @@ class BipPrinter : public BtDevice {
   const std::vector<Printed>& printed() const { return printed_; }
 
  protected:
-  Result<void> on_power_on() override;
+  [[nodiscard]] Result<void> on_power_on() override;
 
  private:
   std::vector<SdpRecord> records_;

@@ -35,7 +35,7 @@ class HidMouse : public BtDevice {
   std::uint64_t reports_sent() const { return reports_sent_; }
 
  protected:
-  Result<void> on_power_on() override;
+  [[nodiscard]] Result<void> on_power_on() override;
   void on_power_off() override;
 
  private:

@@ -49,7 +49,7 @@ class BtTranslator final : public core::Translator {
                const core::UsdlService& usdl);
   ~BtTranslator() override;
 
-  Result<void> deliver(const std::string& port, const core::Message& msg) override;
+  [[nodiscard]] Result<void> deliver(const std::string& port, const core::Message& msg) override;
   bool ready(const std::string& port) const override;
   void on_mapped() override;
   void on_unmapped() override;

@@ -47,7 +47,7 @@ class BluetoothMedium {
   net::SegmentId segment() const { return segment_; }
 
   /// Attach an existing netsim host (e.g. a uMiddle runtime node) to the radio.
-  Result<void> attach_host(const std::string& host);
+  [[nodiscard]] Result<void> attach_host(const std::string& host);
 
   /// Inquiry: report all in-range devices after the scan interval.
   void inquiry(std::function<void(std::vector<BtDeviceInfo>)> done,
@@ -63,7 +63,7 @@ class BluetoothMedium {
 
   /// Open an L2CAP channel to (address, psm) from a host on the radio.
   /// Enforces the 7-active-peer piconet limit on the target.
-  Result<net::StreamPtr> l2cap_connect(const std::string& from_host, BtAddress to,
+  [[nodiscard]] Result<net::StreamPtr> l2cap_connect(const std::string& from_host, BtAddress to,
                                        std::uint16_t psm);
 
   std::vector<BtDeviceInfo> devices_in_range() const;
@@ -98,7 +98,7 @@ class BtDevice {
   BtDevice(const BtDevice&) = delete;
   BtDevice& operator=(const BtDevice&) = delete;
 
-  Result<void> power_on();
+  [[nodiscard]] Result<void> power_on();
   void power_off();
   bool powered() const { return powered_; }
 
@@ -109,13 +109,13 @@ class BtDevice {
   BtDeviceInfo info() const { return {address_, name_, class_of_device_}; }
 
   /// Listen for L2CAP channels on a PSM.
-  Result<void> listen_psm(std::uint16_t psm, net::AcceptHandler handler);
+  [[nodiscard]] Result<void> listen_psm(std::uint16_t psm, net::AcceptHandler handler);
   void stop_psm(std::uint16_t psm);
 
  protected:
   BluetoothMedium& medium() { return medium_; }
   /// Hook for subclasses to start their servers; runs inside power_on.
-  virtual Result<void> on_power_on() { return ok_result(); }
+  [[nodiscard]] virtual Result<void> on_power_on() { return ok_result(); }
   virtual void on_power_off() {}
 
  private:

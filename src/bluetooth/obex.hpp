@@ -64,14 +64,14 @@ struct Packet {
 /// Reassembles packets from stream chunks using the length field.
 class PacketAssembler {
  public:
-  Result<void> feed(std::span<const std::uint8_t> chunk, std::vector<Packet>& out);
+  [[nodiscard]] Result<void> feed(std::span<const std::uint8_t> chunk, std::vector<Packet>& out);
 
  private:
   Bytes buffer_;
 };
 
 /// Decode one complete packet. Exposed for tests.
-Result<Packet> decode(std::span<const std::uint8_t> wire);
+[[nodiscard]] Result<Packet> decode(std::span<const std::uint8_t> wire);
 
 /// An object transferred by PUT/GET.
 struct Object {

@@ -82,8 +82,10 @@ void sdp_query(BluetoothMedium& medium, const std::string& from_host, BtAddress 
     return;
   }
   net::StreamPtr s = stream.value();
-  static std::uint16_t next_tx = 1;
-  std::uint16_t tx = next_tx++;
+  // Transaction id derived from the (per-world) stream id: it only has to match
+  // request to response on this stream, and unlike a process-global counter it
+  // is identical across repeated same-seed runs.
+  std::uint16_t tx = static_cast<std::uint16_t>(s->id().value());
   ByteWriter req;
   req.u8(kPduSearchRequest);
   req.u16(tx);

@@ -30,7 +30,7 @@ struct SdpRecord {
 
 /// Attach an SDP responder for `records` to a device (PSM 0x0001).
 /// The records vector must outlive the registration (owned by the device).
-Result<void> start_sdp_server(BtDevice& device, const std::vector<SdpRecord>* records);
+[[nodiscard]] Result<void> start_sdp_server(BtDevice& device, const std::vector<SdpRecord>* records);
 
 /// Query a remote device's records matching `uuid` ("*" for all).
 /// Charges the SDP round trip over the radio.

@@ -10,6 +10,6 @@
 namespace umiddle::base64 {
 
 std::string encode(std::span<const std::uint8_t> data);
-Result<Bytes> decode(std::string_view text);
+[[nodiscard]] Result<Bytes> decode(std::string_view text);
 
 }  // namespace umiddle::base64

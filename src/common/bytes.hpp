@@ -39,21 +39,21 @@ class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
 
-  Result<std::uint8_t> u8();
-  Result<std::uint16_t> u16();
-  Result<std::uint32_t> u32();
-  Result<std::uint64_t> u64();
-  Result<Bytes> bytes(std::size_t n);
-  Result<std::string> str(std::size_t n);
+  [[nodiscard]] Result<std::uint8_t> u8();
+  [[nodiscard]] Result<std::uint16_t> u16();
+  [[nodiscard]] Result<std::uint32_t> u32();
+  [[nodiscard]] Result<std::uint64_t> u64();
+  [[nodiscard]] Result<Bytes> bytes(std::size_t n);
+  [[nodiscard]] Result<std::string> str(std::size_t n);
   /// u16 length prefix followed by that many string bytes.
-  Result<std::string> str16();
+  [[nodiscard]] Result<std::string> str16();
 
   std::size_t remaining() const { return data_.size() - pos_; }
   bool at_end() const { return remaining() == 0; }
   std::size_t position() const { return pos_; }
 
  private:
-  Result<void> need(std::size_t n);
+  [[nodiscard]] Result<void> need(std::size_t n);
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;

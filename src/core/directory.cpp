@@ -52,9 +52,9 @@ Result<void> Directory::start() {
   multicast(envelope("probe"));
   // Soft-state maintenance: periodic re-announcement + expiry of stale
   // remote entries (a crashed node never sends bye).
-  runtime_.scheduler().schedule_after(max_age_ / 3, [this, alive = alive_]() {
-    if (*alive) refresh_tick();
-  });
+  runtime_.scheduler().schedule_after(
+      max_age_ / 3, [this, alive = alive_]() { if (*alive) refresh_tick(); },
+      {sim::host_id(runtime_.host()), sim::tag_id("dir.refresh")});
   return ok_result();
 }
 
@@ -77,9 +77,9 @@ void Directory::refresh_tick() {
         << profile.node.to_string() << " silent)";
     notify_unmapped(profile);
   }
-  runtime_.scheduler().schedule_after(max_age_ / 3, [this, alive = alive_]() {
-    if (*alive) refresh_tick();
-  });
+  runtime_.scheduler().schedule_after(
+      max_age_ / 3, [this, alive = alive_]() { if (*alive) refresh_tick(); },
+      {sim::host_id(runtime_.host()), sim::tag_id("dir.refresh")});
 }
 
 void Directory::stop() {
@@ -215,9 +215,9 @@ void Directory::handle_datagram(const net::Endpoint& from, const Bytes& payload)
     // responders do not collide on the shared medium.
     sim::Duration jitter =
         sim::milliseconds(5 + static_cast<std::int64_t>(runtime_.node().value() % 8) * 12);
-    runtime_.scheduler().schedule_after(jitter, [this]() {
-      if (started_) announce_all_local();
-    });
+    runtime_.scheduler().schedule_after(
+        jitter, [this]() { if (started_) announce_all_local(); },
+        {sim::host_id(runtime_.host()), sim::tag_id("dir.probe-reply")});
   }
 }
 

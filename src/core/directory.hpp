@@ -67,7 +67,7 @@ class Directory {
   /// Join the multicast group, bind the advertisement socket, send a probe,
   /// and begin periodic re-announcement (soft state: peers expire entries
   /// whose advertisements stop arriving, like SSDP's CACHE-CONTROL max-age).
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   /// Send bye for all local translators and leave the group.
   void stop();
 

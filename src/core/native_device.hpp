@@ -21,7 +21,7 @@ class LambdaDevice : public Translator {
       : Translator(std::move(name), "umiddle", "umiddle:native", std::move(shape)),
         on_deliver_(std::move(on_deliver)) {}
 
-  Result<void> deliver(const std::string& port, const Message& msg) override {
+  [[nodiscard]] Result<void> deliver(const std::string& port, const Message& msg) override {
     if (!on_deliver_) return ok_result();
     return on_deliver_(port, msg);
   }
@@ -45,7 +45,7 @@ class CollectorDevice : public Translator {
   CollectorDevice(std::string name, Shape shape)
       : Translator(std::move(name), "umiddle", "umiddle:collector", std::move(shape)) {}
 
-  Result<void> deliver(const std::string& port, const Message& msg) override {
+  [[nodiscard]] Result<void> deliver(const std::string& port, const Message& msg) override {
     received_.push_back(Received{port, msg});
     if (on_receive_) on_receive_(received_.back());
     return ok_result();

@@ -1,23 +1,17 @@
 #include "core/runtime.hpp"
 
-#include <atomic>
-
 #include "common/log.hpp"
 
 namespace umiddle::core {
-namespace {
 
-std::uint64_t next_node_id() {
-  static std::atomic<std::uint64_t> counter{0};
-  return ++counter;
-}
-
-}  // namespace
-
+// Auto-assigned node ids are allocated from the Network (per simulated world),
+// not from a process-global counter: a global would give a second same-seed run
+// in the same process different node ids, different advert sizes, and therefore
+// a diverging trace digest (see tests/determinism_test.cpp).
 Runtime::Runtime(sim::Scheduler& sched, net::Network& net, std::string host,
                  RuntimeConfig config)
     : sched_(sched), net_(net), host_(std::move(host)), config_(std::move(config)),
-      node_(config_.node_id != 0 ? NodeId(config_.node_id) : NodeId(next_node_id())) {
+      node_(config_.node_id != 0 ? NodeId(config_.node_id) : NodeId(net.next_node_ordinal())) {
   directory_ = std::make_unique<Directory>(*this);
   transport_ = std::make_unique<Transport>(*this);
   directory_->add_directory_listener(transport_.get());
@@ -84,10 +78,13 @@ void Runtime::instantiate(std::unique_ptr<Translator> translator,
   // Shared ownership only to move the translator through the std::function
   // (which requires copyability); the lambda is the sole holder.
   auto holder = std::make_shared<std::unique_ptr<Translator>>(std::move(translator));
-  sched_.schedule_after(cost, [this, holder, done = std::move(done)]() {
-    auto result = map(std::move(*holder));
-    if (done) done(std::move(result));
-  });
+  sched_.schedule_after(
+      cost,
+      [this, holder, done = std::move(done)]() {
+        auto result = map(std::move(*holder));
+        if (done) done(std::move(result));
+      },
+      {sim::host_id(host_), sim::tag_id("runtime.instantiate")});
 }
 
 Result<void> Runtime::unmap(TranslatorId id) {

@@ -57,19 +57,19 @@ class Runtime {
   Runtime& operator=(const Runtime&) = delete;
 
   /// Bind sockets, start directory + transport, then start all mappers.
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   /// Withdraw all local translators and stop mappers/sockets.
   void stop();
   bool started() const { return started_; }
 
   // --- translator management ----------------------------------------------------
   /// Register a translator immediately (no instantiation cost) and advertise it.
-  Result<TranslatorId> map(std::unique_ptr<Translator> translator);
+  [[nodiscard]] Result<TranslatorId> map(std::unique_ptr<Translator> translator);
   /// Mapper path: charge the Fig. 10 instantiation cost in virtual time, then
   /// map. `done` (optional) receives the assigned id.
   void instantiate(std::unique_ptr<Translator> translator,
                    std::function<void(Result<TranslatorId>)> done = {});
-  Result<void> unmap(TranslatorId id);
+  [[nodiscard]] Result<void> unmap(TranslatorId id);
   /// Locally hosted translator by id, or nullptr.
   Translator* translator(TranslatorId id);
 
@@ -90,7 +90,7 @@ class Runtime {
 
   // --- called by translators -------------------------------------------------------
   /// Route a message emitted by a local translator (via Translator::emit).
-  Result<void> route_emit(const PortRef& src, Message msg);
+  [[nodiscard]] Result<void> route_emit(const PortRef& src, Message msg);
   /// A translator's input became ready again; resume blocked paths.
   void notify_ready(TranslatorId id);
 

@@ -65,7 +65,7 @@ class Shape {
   bool empty() const { return ports_.empty(); }
 
   /// Add a port; fails on duplicate name.
-  Result<void> add(PortSpec port);
+  [[nodiscard]] Result<void> add(PortSpec port);
 
   /// Find a port by name, or nullptr.
   const PortSpec* find(std::string_view name) const;

@@ -36,7 +36,7 @@ class Translator {
 
   /// uMiddle → native: a message arrives on one of our digital input ports.
   /// Implementations run the corresponding native operation.
-  virtual Result<void> deliver(const std::string& port, const Message& msg) = 0;
+  [[nodiscard]] virtual Result<void> deliver(const std::string& port, const Message& msg) = 0;
 
   /// Lifecycle notifications from the runtime.
   virtual void on_mapped() {}
@@ -59,7 +59,7 @@ class Translator {
   /// native → uMiddle: push a message out of one of our digital output ports.
   /// Validates the port exists, is a digital output, and accepts msg.type;
   /// then routes through the hosting runtime's transport.
-  Result<void> emit(const std::string& port, Message msg);
+  [[nodiscard]] Result<void> emit(const std::string& port, Message msg);
 
  private:
   friend class Runtime;

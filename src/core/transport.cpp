@@ -245,26 +245,32 @@ void Transport::drain(Path& path) {
   sim::Duration cost = runtime_.costs().translation_cost(bytes);
   path.drain_scheduled = true;
   PathId id = path.id;
-  runtime_.scheduler().schedule_after(cost, [this, id, item = std::move(item)]() mutable {
-    auto it = paths_.find(id);
-    if (it == paths_.end()) return;  // path disconnected while translating
-    it->second.drain_scheduled = false;
-    dispatch(it->second, std::move(item));
-    auto again = paths_.find(id);  // dispatch may mutate the path table
-    if (again != paths_.end()) drain(again->second);
-  });
+  runtime_.scheduler().schedule_after(
+      cost,
+      [this, id, item = std::move(item)]() mutable {
+        auto it = paths_.find(id);
+        if (it == paths_.end()) return;  // path disconnected while translating
+        it->second.drain_scheduled = false;
+        dispatch(it->second, std::move(item));
+        auto again = paths_.find(id);  // dispatch may mutate the path table
+        if (again != paths_.end()) drain(again->second);
+      },
+      {sim::host_id(runtime_.host()), sim::tag_id("umtp.translate")});
 }
 
 void Transport::schedule_drain(PathId id, sim::Duration delay) {
   auto it = paths_.find(id);
   if (it == paths_.end() || it->second.drain_scheduled) return;
   it->second.drain_scheduled = true;
-  runtime_.scheduler().schedule_after(delay, [this, id]() {
-    auto path = paths_.find(id);
-    if (path == paths_.end()) return;
-    path->second.drain_scheduled = false;
-    drain(path->second);
-  });
+  runtime_.scheduler().schedule_after(
+      delay,
+      [this, id]() {
+        auto path = paths_.find(id);
+        if (path == paths_.end()) return;
+        path->second.drain_scheduled = false;
+        drain(path->second);
+      },
+      {sim::host_id(runtime_.host()), sim::tag_id("umtp.drain")});
 }
 
 void Transport::dispatch(Path& path, Pending item) {
@@ -371,7 +377,8 @@ Transport::NodeLink* Transport::link_to(NodeId node) {
   });
   link.stream->on_drain([this]() { resume_paths(); });
   link.stream->on_close([this, node]() {
-    runtime_.scheduler().post([this, node]() { links_.erase(node); });
+    runtime_.scheduler().post([this, node]() { links_.erase(node); },
+                              {sim::host_id(runtime_.host()), sim::tag_id("umtp.link-close")});
   });
   return &link;
 }

@@ -56,17 +56,17 @@ class Transport final : public DirectoryListener {
   ~Transport() override;
 
   /// Listen for UMTP connections from peer runtimes.
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   void stop();
 
   // --- paper Fig. 7 API ---------------------------------------------------------
   /// (1) Fixed path between an output and an input port. Both translators must
   /// be known to the directory and compatible.
-  Result<PathId> connect(const PortRef& src, const PortRef& dst, QosPolicy qos = {});
+  [[nodiscard]] Result<PathId> connect(const PortRef& src, const PortRef& dst, QosPolicy qos = {});
   /// (2) Dynamic message path from a port to every translator matching `dst`,
   /// re-evaluated as translators are mapped and unmapped.
-  Result<PathId> connect(const PortRef& src, Query dst, QosPolicy qos = {});
-  Result<void> disconnect(PathId path);
+  [[nodiscard]] Result<PathId> connect(const PortRef& src, Query dst, QosPolicy qos = {});
+  [[nodiscard]] Result<void> disconnect(PathId path);
 
   /// Stats for a locally hosted path; nullptr for unknown/remote paths.
   const PathStats* stats(PathId path) const;
@@ -115,10 +115,10 @@ class Transport final : public DirectoryListener {
   /// High-water mark on a link's unsent bytes before paths pause.
   static constexpr std::size_t kLinkWatermark = 64 * 1024;
 
-  Result<PathId> connect_impl(const PortRef& src, std::variant<PortRef, Query> dst,
+  [[nodiscard]] Result<PathId> connect_impl(const PortRef& src, std::variant<PortRef, Query> dst,
                               QosPolicy qos);
   /// Install a path on this (hosting) node and bind destinations.
-  Result<void> install_path(Path path);
+  [[nodiscard]] Result<void> install_path(Path path);
   void bind_query_matches(Path& path);
   /// First input port of `profile` connectable from the source type, if any.
   std::optional<PortRef> pick_input_port(const Path& path, const TranslatorProfile& profile) const;

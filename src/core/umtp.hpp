@@ -53,7 +53,7 @@ class FrameAssembler {
   /// Feed received bytes; complete frames are appended to out. A malformed
   /// frame poisons the assembler (subsequent feeds return the same error) —
   /// callers should drop the connection, as real framed protocols do.
-  Result<void> feed(std::span<const std::uint8_t> chunk, std::vector<Frame>& out);
+  [[nodiscard]] Result<void> feed(std::span<const std::uint8_t> chunk, std::vector<Frame>& out);
 
  private:
   Bytes buffer_;
@@ -61,6 +61,6 @@ class FrameAssembler {
 };
 
 /// Decode one frame body (without the u32 length prefix). Exposed for tests.
-Result<Frame> decode_body(std::span<const std::uint8_t> body);
+[[nodiscard]] Result<Frame> decode_body(std::span<const std::uint8_t> body);
 
 }  // namespace umiddle::core::umtp

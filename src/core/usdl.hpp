@@ -87,8 +87,8 @@ struct UsdlDocument {
 
 /// Parse a USDL document; validates that every binding references a declared
 /// port and that `emit` ports are outputs.
-Result<UsdlDocument> parse_usdl(std::string_view text);
-Result<UsdlDocument> parse_usdl(const xml::Element& root);
+[[nodiscard]] Result<UsdlDocument> parse_usdl(std::string_view text);
+[[nodiscard]] Result<UsdlDocument> parse_usdl(const xml::Element& root);
 
 /// Serialize back to XML (used by tooling and round-trip tests).
 xml::Element to_xml(const UsdlService& service);
@@ -100,7 +100,7 @@ class UsdlLibrary {
   /// Register all services of a document. Later registrations override earlier
   /// ones with the same (platform, match) key, enabling user customization.
   void add(UsdlDocument doc);
-  Result<void> add_text(std::string_view text);
+  [[nodiscard]] Result<void> add_text(std::string_view text);
 
   const UsdlService* find(std::string_view platform, std::string_view match) const;
   std::vector<const UsdlService*> services_for(std::string_view platform) const;

@@ -19,20 +19,20 @@ class MbClient {
   MbClient(const MbClient&) = delete;
   MbClient& operator=(const MbClient&) = delete;
 
-  Result<void> connect();
+  [[nodiscard]] Result<void> connect();
   void close();
   bool connected() const { return connected_; }
 
   /// Declare a producer for `stream`.
-  Result<void> produce(const std::string& stream, const std::string& media_type);
+  [[nodiscard]] Result<void> produce(const std::string& stream, const std::string& media_type);
   /// Publish one media frame (streaming: no per-frame acknowledgement).
-  Result<void> send(const std::string& stream, Bytes payload);
+  [[nodiscard]] Result<void> send(const std::string& stream, Bytes payload);
   /// Subscribe; `on_data` fires per arriving frame.
-  Result<void> consume(const std::string& stream);
+  [[nodiscard]] Result<void> consume(const std::string& stream);
   /// Withdraw a produced stream.
-  Result<void> retire(const std::string& stream);
+  [[nodiscard]] Result<void> retire(const std::string& stream);
   /// Watch stream announcements (mapper discovery).
-  Result<void> watch();
+  [[nodiscard]] Result<void> watch();
 
   void on_data(DataFn fn) { on_data_ = std::move(fn); }
   void on_announce(AnnounceFn fn) { on_announce_ = std::move(fn); }
@@ -45,7 +45,7 @@ class MbClient {
   std::size_t backlog() const;
 
  private:
-  Result<void> send_frame(const Frame& frame);
+  [[nodiscard]] Result<void> send_frame(const Frame& frame);
 
   net::Network& net_;
   std::string host_;

@@ -28,7 +28,7 @@ class MbTranslator final : public core::Translator {
                const core::UsdlService& usdl);
   ~MbTranslator() override;
 
-  Result<void> deliver(const std::string& port, const core::Message& msg) override;
+  [[nodiscard]] Result<void> deliver(const std::string& port, const core::Message& msg) override;
   bool ready(const std::string& port) const override;
   void on_mapped() override;
   void on_unmapped() override;

@@ -48,7 +48,7 @@ struct Frame {
 /// Incremental frame decoder.
 class Decoder {
  public:
-  Result<void> feed(std::span<const std::uint8_t> chunk, std::vector<Frame>& out);
+  [[nodiscard]] Result<void> feed(std::span<const std::uint8_t> chunk, std::vector<Frame>& out);
 
  private:
   Bytes buffer_;

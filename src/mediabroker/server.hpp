@@ -23,7 +23,7 @@ class MbServer {
   MbServer(const MbServer&) = delete;
   MbServer& operator=(const MbServer&) = delete;
 
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   void stop();
 
   /// Install a transformation for a stream (MediaBroker's signature feature).

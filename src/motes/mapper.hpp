@@ -24,7 +24,7 @@ class MoteTranslator final : public core::Translator {
  public:
   MoteTranslator(std::uint16_t mote_id, SensorKind kind, const core::UsdlService& usdl);
 
-  Result<void> deliver(const std::string& port, const core::Message& msg) override;
+  [[nodiscard]] Result<void> deliver(const std::string& port, const core::Message& msg) override;
 
   /// Called by the mapper when a reading from this mote arrives.
   void handle_reading(const Reading& reading);

@@ -46,7 +46,7 @@ class MoteField {
   net::SegmentId segment() const { return segment_; }
 
   /// Attach a gateway host (a uMiddle node) to the radio + AM group.
-  Result<void> attach_gateway(const std::string& host);
+  [[nodiscard]] Result<void> attach_gateway(const std::string& host);
 
  private:
   net::Network& net_;
@@ -62,7 +62,7 @@ class Mote {
   Mote(const Mote&) = delete;
   Mote& operator=(const Mote&) = delete;
 
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   void stop();
 
   std::uint16_t id() const { return id_; }

@@ -38,7 +38,7 @@ Result<void> Network::add_host(const std::string& name) {
   if (hosts_.count(name) != 0) {
     return make_error(Errc::already_exists, "host exists: " + name);
   }
-  hosts_[name];
+  hosts_[name].trace_id = sim::host_id(name);
   return ok_result();
 }
 
@@ -111,7 +111,8 @@ sim::TimePoint Network::send_frame(SegmentId seg_id, const std::string& src,
     seg.stats.dropped += 1;
     return arrival;
   }
-  sched_.schedule_at(arrival, std::move(deliver));
+  sched_.schedule_at(arrival, std::move(deliver),
+                     {hosts_.at(src).trace_id, sim::tag_id("net.deliver")});
   return arrival;
 }
 
@@ -248,11 +249,14 @@ Result<StreamPtr> Network::connect(const std::string& host, const Endpoint& remo
   // Three-way handshake: 1.5 RTT of segment latency before both ends are up.
   sim::Duration rtt = spec(seg).latency * 2;
   AcceptHandler accept = listener->second;
-  sched_.schedule_after(rtt + spec(seg).latency, [this, client, server, accept]() {
-    server->establish();
-    client->establish();
-    if (accept) accept(server);
-  });
+  sched_.schedule_after(
+      rtt + spec(seg).latency,
+      [this, client, server, accept]() {
+        server->establish();
+        client->establish();
+        if (accept) accept(server);
+      },
+      {hosts_.at(host).trace_id, sim::tag_id("net.handshake")});
   return client;
 }
 

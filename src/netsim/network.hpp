@@ -99,11 +99,17 @@ class Network {
 
   sim::Scheduler& scheduler() { return sched_; }
 
+  /// Monotonic per-world ordinal for naming entities (e.g. runtime node ids).
+  /// Deliberately an instance member: process-global counters make a second
+  /// same-seed run in the same process diverge, which the determinism audit
+  /// (sim/audit.hpp) forbids.
+  std::uint64_t next_node_ordinal() { return ++node_ordinals_; }
+
   SegmentId add_segment(SegmentSpec spec);
   /// Create a host (no segments attached yet). Names must be unique.
-  Result<void> add_host(const std::string& name);
+  [[nodiscard]] Result<void> add_host(const std::string& name);
   /// Attach an existing host to a segment.
-  Result<void> attach(const std::string& host, SegmentId segment);
+  [[nodiscard]] Result<void> attach(const std::string& host, SegmentId segment);
   bool host_exists(const std::string& name) const { return hosts_.count(name) != 0; }
 
   const SegmentStats& stats(SegmentId segment) const;
@@ -111,24 +117,24 @@ class Network {
 
   // --- datagram service -----------------------------------------------------
   /// Bind a datagram handler; fails if the endpoint is taken.
-  Result<void> udp_bind(const Endpoint& local, DatagramHandler handler);
+  [[nodiscard]] Result<void> udp_bind(const Endpoint& local, DatagramHandler handler);
   void udp_close(const Endpoint& local);
   /// Unicast; fails if src/dst share no segment.
-  Result<void> udp_send(const Endpoint& from, const Endpoint& to, Bytes payload);
+  [[nodiscard]] Result<void> udp_send(const Endpoint& from, const Endpoint& to, Bytes payload);
   /// Join a multicast group on every segment the host is attached to.
-  Result<void> join_group(const std::string& host, const std::string& group);
+  [[nodiscard]] Result<void> join_group(const std::string& host, const std::string& group);
   void leave_group(const std::string& host, const std::string& group);
   /// Multicast to every group member sharing a segment with the sender
   /// (including the sender itself if joined and bound — SSDP relies on loopback).
-  Result<void> udp_multicast(const Endpoint& from, const std::string& group,
+  [[nodiscard]] Result<void> udp_multicast(const Endpoint& from, const std::string& group,
                              std::uint16_t port, Bytes payload);
 
   // --- stream service ---------------------------------------------------------
-  Result<void> listen(const Endpoint& local, AcceptHandler handler);
+  [[nodiscard]] Result<void> listen(const Endpoint& local, AcceptHandler handler);
   void stop_listening(const Endpoint& local);
   /// Open a connection. The returned stream is not yet connected; set handlers
   /// then wait for on_connected. Fails fast if no shared segment or no listener.
-  Result<StreamPtr> connect(const std::string& host, const Endpoint& remote);
+  [[nodiscard]] Result<StreamPtr> connect(const std::string& host, const Endpoint& remote);
 
  private:
   friend class Stream;
@@ -145,6 +151,8 @@ class Network {
     std::set<std::string> groups;
     /// Per-segment NIC availability (full-duplex media serialize per sender).
     std::map<SegmentId, sim::TimePoint> nic_busy_until;
+    /// sim::host_id(name), cached so the audit tag costs nothing per frame.
+    std::uint64_t trace_id = 0;
   };
 
   /// Schedule delivery of `payload_size` bytes from `src` on `seg`;
@@ -156,7 +164,7 @@ class Network {
   /// First segment shared by both hosts, or invalid id.
   SegmentId common_segment(const std::string& a, const std::string& b) const;
 
-  Result<void> check_host(const std::string& name) const;
+  [[nodiscard]] Result<void> check_host(const std::string& name) const;
 
   std::uint16_t allocate_ephemeral_port(const std::string& host);
   void register_stream(StreamPtr s);
@@ -174,6 +182,7 @@ class Network {
   IdGenerator<StreamId> stream_ids_;
   SegmentId loopback_;
   std::uint16_t next_ephemeral_ = 49152;
+  std::uint64_t node_ordinals_ = 0;
 };
 
 }  // namespace umiddle::net

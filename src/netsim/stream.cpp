@@ -58,11 +58,14 @@ void Stream::pump() {
   // this is the NIC-level backpressure that keeps pending() an honest measure
   // of the local send backlog (and keeps the event heap bounded).
   sim::TimePoint tx_end = arrival - net_.spec(segment_).latency;
-  net_.scheduler().schedule_at(tx_end, [this, self]() {
-    pumping_ = false;
-    if (send_queue_.empty() && on_drain_ && state_ == State::established) on_drain_();
-    pump();
-  });
+  net_.scheduler().schedule_at(
+      tx_end,
+      [this, self]() {
+        pumping_ = false;
+        if (send_queue_.empty() && on_drain_ && state_ == State::established) on_drain_();
+        pump();
+      },
+      {sim::host_id(local_.host), sim::tag_id("net.stream.pump")});
 }
 
 void Stream::deliver(Bytes chunk) {
@@ -113,7 +116,8 @@ void Stream::peer_closed() {
   state_ = State::closed;
   fire_close_handlers();
   auto self = shared_from_this();
-  net_.scheduler().post([this, self]() { net_.forget_stream(id_); });
+  net_.scheduler().post([this, self]() { net_.forget_stream(id_); },
+                        {sim::host_id(local_.host), sim::tag_id("net.stream.forget")});
   release_handlers_soon();
 }
 
@@ -138,12 +142,14 @@ void Stream::release_handlers_soon() {
   // Deferred via the scheduler because one of them may be on the call stack
   // right now (destroying an executing std::function is UB).
   auto self = shared_from_this();
-  net_.scheduler().post([self]() {
-    self->on_connected_ = nullptr;
-    self->on_data_ = nullptr;
-    self->on_drain_ = nullptr;
-    self->on_close_.clear();
-  });
+  net_.scheduler().post(
+      [self]() {
+        self->on_connected_ = nullptr;
+        self->on_data_ = nullptr;
+        self->on_drain_ = nullptr;
+        self->on_close_.clear();
+      },
+      {sim::host_id(local_.host), sim::tag_id("net.stream.release")});
 }
 
 }  // namespace umiddle::net

@@ -50,8 +50,8 @@ class Stream : public std::enable_shared_from_this<Stream> {
   void drop_handlers();
 
   /// Queue bytes for transmission. Fails once closing/closed.
-  Result<void> send(Bytes payload);
-  Result<void> send(std::string_view payload);
+  [[nodiscard]] Result<void> send(Bytes payload);
+  [[nodiscard]] Result<void> send(std::string_view payload);
 
   /// Flush pending bytes then close both directions; peer sees on_close.
   void close();

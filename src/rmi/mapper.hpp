@@ -31,7 +31,7 @@ class RmiTranslator final : public core::Translator {
   RmiTranslator(RmiMapper& mapper, Binding binding, const core::UsdlService& usdl);
   ~RmiTranslator() override;
 
-  Result<void> deliver(const std::string& port, const core::Message& msg) override;
+  [[nodiscard]] Result<void> deliver(const std::string& port, const core::Message& msg) override;
   bool ready(const std::string& port) const override;
   void on_mapped() override;
   void on_unmapped() override;

@@ -48,7 +48,7 @@ class Decoder {
   enum class Kind { calls, returns };
   explicit Decoder(Kind kind) : kind_(kind) {}
 
-  Result<void> feed(std::span<const std::uint8_t> chunk, std::vector<Call>& calls,
+  [[nodiscard]] Result<void> feed(std::span<const std::uint8_t> chunk, std::vector<Call>& calls,
                     std::vector<Return>& returns);
 
  private:
@@ -98,7 +98,7 @@ class RmiObjectServer {
   RmiObjectServer(const RmiObjectServer&) = delete;
   RmiObjectServer& operator=(const RmiObjectServer&) = delete;
 
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   void stop();
 
   void export_method(const std::string& object, const std::string& method, MethodFn fn);

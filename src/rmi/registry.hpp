@@ -27,7 +27,7 @@ class RmiRegistry {
  public:
   RmiRegistry(net::Network& net, std::string host, std::uint16_t port = kRegistryPort);
 
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   void stop();
 
   std::size_t size() const { return bindings_.size(); }

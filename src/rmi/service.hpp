@@ -17,7 +17,7 @@ class RmiEchoService {
   RmiEchoService(net::Network& net, std::string host, std::uint16_t port, std::string name,
                  net::Endpoint registry);
 
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   void stop();
 
   /// Messages delivered by uMiddle (via the translator's `deliver` call).

@@ -1,0 +1,60 @@
+#include "sim/audit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace umiddle::sim {
+
+void TraceRecorder::enable(std::size_t capacity) {
+  ring_.clear();
+  ring_.reserve(capacity);
+  capacity_ = capacity;
+  next_ = 0;
+  dropped_ = 0;
+}
+
+void TraceRecorder::disable() {
+  ring_.clear();
+  ring_.shrink_to_fit();
+  capacity_ = 0;
+  next_ = 0;
+}
+
+void TraceRecorder::record(const TraceRecord& rec) {
+  if (capacity_ == 0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(rec);
+    return;
+  }
+  // Ring is full: overwrite the oldest slot.
+  ring_[next_] = rec;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceRecord> TraceRecorder::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  // Oldest-first: [next_, end) then [0, next_).
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_), ring_.end());
+  out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
+}
+
+std::ptrdiff_t first_divergence(const std::vector<TraceRecord>& a,
+                                const std::vector<TraceRecord>& b) {
+  std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a[i] == b[i])) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+std::string describe(const TraceRecord& rec) {
+  std::ostringstream os;
+  os << "t=" << rec.when_ns << "ns seq=" << rec.seq << " host=" << std::hex << rec.host
+     << " tag=" << rec.tag << std::dec;
+  return os.str();
+}
+
+}  // namespace umiddle::sim

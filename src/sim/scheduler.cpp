@@ -4,15 +4,15 @@
 
 namespace umiddle::sim {
 
-EventHandle Scheduler::schedule_after(Duration delay, std::function<void()> fn) {
+EventHandle Scheduler::schedule_after(Duration delay, std::function<void()> fn, EventTag tag) {
   if (delay < Duration(0)) delay = Duration(0);
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, std::move(fn), tag);
 }
 
-EventHandle Scheduler::schedule_at(TimePoint when, std::function<void()> fn) {
+EventHandle Scheduler::schedule_at(TimePoint when, std::function<void()> fn, EventTag tag) {
   if (when < now_) when = now_;
   std::uint64_t seq = next_seq_++;
-  queue_.push(Event{when, seq, std::move(fn)});
+  queue_.push(Event{when, seq, tag, std::move(fn)});
   return EventHandle(seq);
 }
 
@@ -42,11 +42,23 @@ bool Scheduler::pop_next(Event& out) {
   return false;
 }
 
+void Scheduler::begin_dispatch(const Event& ev) {
+  now_ = ev.when;
+  digest_.absorb(static_cast<std::uint64_t>(ev.when.count()));
+  digest_.absorb(ev.seq);
+  digest_.absorb(ev.tag.host);
+  digest_.absorb(ev.tag.tag);
+  ++dispatched_;
+  if (recorder_.enabled()) {
+    recorder_.record(TraceRecord{ev.when.count(), ev.seq, ev.tag.host, ev.tag.tag});
+  }
+}
+
 std::size_t Scheduler::run() {
   std::size_t n = 0;
   Event ev;
   while (pop_next(ev)) {
-    now_ = ev.when;
+    begin_dispatch(ev);
     ev.fn();
     ++n;
   }
@@ -64,7 +76,7 @@ std::size_t Scheduler::run_until(TimePoint deadline) {
       queue_.push(std::move(ev));
       break;
     }
-    now_ = ev.when;
+    begin_dispatch(ev);
     ev.fn();
     ++n;
   }
@@ -75,7 +87,7 @@ std::size_t Scheduler::run_until(TimePoint deadline) {
 bool Scheduler::step() {
   Event ev;
   if (!pop_next(ev)) return false;
-  now_ = ev.when;
+  begin_dispatch(ev);
   ev.fn();
   return true;
 }

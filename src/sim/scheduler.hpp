@@ -5,6 +5,11 @@
 // deterministic: the paper's benchmarks are reported in *virtual* time, so results
 // are exactly reproducible across machines (see DESIGN.md §3).
 //
+// Determinism is *audited*, not assumed: every dispatched event is absorbed into
+// an always-on TraceDigest (sim/audit.hpp); two same-seed runs of the same
+// scenario must end with identical trace_digest() values. tests/determinism_test
+// enforces this for the integration and stress scenarios.
+//
 // Events at equal timestamps fire in insertion order.
 #pragma once
 
@@ -13,6 +18,8 @@
 #include <functional>
 #include <queue>
 #include <vector>
+
+#include "sim/audit.hpp"
 
 namespace umiddle::sim {
 
@@ -52,13 +59,15 @@ class Scheduler {
   TimePoint now() const { return now_; }
 
   /// Run `fn` at the current time, after already-queued same-time events.
-  EventHandle post(std::function<void()> fn) { return schedule_after(Duration(0), std::move(fn)); }
+  EventHandle post(std::function<void()> fn, EventTag tag = {}) {
+    return schedule_after(Duration(0), std::move(fn), tag);
+  }
 
   /// Run `fn` `delay` after now (negative delays clamp to 0).
-  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+  EventHandle schedule_after(Duration delay, std::function<void()> fn, EventTag tag = {});
 
   /// Run `fn` at absolute virtual time `when` (past times clamp to now).
-  EventHandle schedule_at(TimePoint when, std::function<void()> fn);
+  EventHandle schedule_at(TimePoint when, std::function<void()> fn, EventTag tag = {});
 
   /// Cancel a pending event; no-op if it already fired or was cancelled.
   void cancel(EventHandle handle);
@@ -78,10 +87,22 @@ class Scheduler {
 
   std::size_t pending() const { return queue_.size() - cancelled_; }
 
+  // --- determinism audit (sim/audit.hpp) -----------------------------------------
+  /// Rolling digest of every event dispatched so far: (virtual time, sequence
+  /// number, host id, event tag) in dispatch order. Two same-seed runs of the
+  /// same scenario must report identical values at the same virtual time.
+  std::uint64_t trace_digest() const { return digest_.value(); }
+  /// Events dispatched so far (cancelled events never count).
+  std::uint64_t events_dispatched() const { return dispatched_; }
+  /// Optional bounded record of recent dispatches, for diffing divergent runs.
+  TraceRecorder& trace_recorder() { return recorder_; }
+  const TraceRecorder& trace_recorder() const { return recorder_; }
+
  private:
   struct Event {
     TimePoint when;
     std::uint64_t seq;
+    EventTag tag;
     std::function<void()> fn;
 
     // min-heap by (when, seq)
@@ -91,12 +112,18 @@ class Scheduler {
   };
 
   bool pop_next(Event& out);
+  /// Advance virtual time to the event's deadline and absorb it into the audit
+  /// digest. Every dispatch path (run/run_until/step) funnels through here.
+  void begin_dispatch(const Event& ev);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::vector<std::uint64_t> cancelled_set_;
   TimePoint now_{0};
   std::uint64_t next_seq_ = 1;
   std::size_t cancelled_ = 0;
+  TraceDigest digest_;
+  TraceRecorder recorder_;
+  std::uint64_t dispatched_ = 0;
 };
 
 }  // namespace umiddle::sim

@@ -35,14 +35,14 @@ class ControlPoint {
   ControlPoint(const ControlPoint&) = delete;
   ControlPoint& operator=(const ControlPoint&) = delete;
 
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   void stop();
 
   void on_device(DeviceFn fn) { on_device_ = std::move(fn); }
   void on_device_gone(DeviceGoneFn fn) { on_device_gone_ = std::move(fn); }
 
   /// Multicast an M-SEARCH for everything.
-  Result<void> search();
+  [[nodiscard]] Result<void> search();
 
   /// POST a SOAP action to a control URL. Marshal/unmarshal costs are charged
   /// in virtual time on this (control-point) side.

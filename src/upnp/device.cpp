@@ -1,5 +1,7 @@
 #include "upnp/device.hpp"
 
+#include <cstdio>
+
 #include "common/log.hpp"
 #include "common/strings.hpp"
 
@@ -19,8 +21,18 @@ UpnpDevice::UpnpDevice(net::Network& net, std::string host, std::uint16_t port,
                        DeviceDescription description, UpnpCosts costs)
     : net_(net), host_(std::move(host)), port_(port), description_(std::move(description)),
       costs_(costs), http_(net_, host_, port_), ssdp_(net_, host_) {
-  // Fill in absolute URLs for every service.
   std::string base = "http://" + host_ + ":" + std::to_string(port_);
+  if (description_.udn.empty()) {
+    // A device is addressed by host:port, so that pair (plus the type) names it
+    // uniquely and reproducibly; fixed-width hex keeps every advert the same
+    // size across runs.
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      sim::tag_id(base + ":" + description_.device_type)));
+    description_.udn = "uuid:umiddle-sim-" + std::string(buf);
+  }
+  // Fill in absolute URLs for every service.
   for (ServiceDescription& svc : description_.services) {
     std::string slug = service_slug(svc.service_type);
     svc.control_url = base + "/control/" + slug;
@@ -89,7 +101,7 @@ std::string UpnpDevice::state(const std::string& service_type, const std::string
   return it == state_.end() ? std::string() : it->second;
 }
 
-void UpnpDevice::handle_control(const std::string& service_type, const HttpRequest& req,
+void UpnpDevice::handle_control(const std::string& /*service_type*/, const HttpRequest& req,
                                 RespondFn respond) {
   if (req.method != "POST") {
     respond(HttpResponse::make(405, "Method Not Allowed"));
@@ -103,7 +115,8 @@ void UpnpDevice::handle_control(const std::string& service_type, const HttpReque
   // Charge SOAP unmarshalling + actuation in virtual time, then run the handler.
   sim::Duration work = costs_.soap_unmarshal + costs_.actuation;
   net_.scheduler().schedule_after(
-      work, [this, request = std::move(request).take(), respond = std::move(respond)]() {
+      work,
+      [this, request = std::move(request).take(), respond = std::move(respond)]() {
         auto handler = actions_.find({request.service_type, request.action});
         if (handler == actions_.end()) {
           respond(HttpResponse::make(500, "Internal Server Error",
@@ -122,8 +135,10 @@ void UpnpDevice::handle_control(const std::string& service_type, const HttpReque
                 respond(HttpResponse::make(500, "Internal Server Error",
                                            SoapFault{501, result.error().message}.to_envelope()));
               }
-            });
-      });
+            },
+            {sim::host_id(host_), sim::tag_id("upnp.marshal")});
+      },
+      {sim::host_id(host_), sim::tag_id("upnp.action")});
 }
 
 void UpnpDevice::handle_subscription(const std::string& service_type, const HttpRequest& req,

@@ -49,7 +49,7 @@ class UpnpDevice {
   UpnpDevice& operator=(const UpnpDevice&) = delete;
 
   /// Start HTTP + SSDP and announce ssdp:alive.
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   /// Announce ssdp:byebye and stop serving.
   void stop();
 

@@ -6,17 +6,14 @@
 namespace umiddle::upnp {
 namespace {
 
-std::uint64_t next_udn_serial() {
-  static std::uint64_t serial = 0;
-  return ++serial;
-}
-
 DeviceDescription make_description(const std::string& device_type, std::string friendly_name,
                                    std::vector<ServiceDescription> services) {
   DeviceDescription d;
   d.device_type = device_type;
   d.friendly_name = std::move(friendly_name);
-  d.udn = "uuid:umiddle-sim-" + std::to_string(next_udn_serial());
+  // udn left empty: UpnpDevice derives it from host:port:device_type, which is
+  // unique per live device and — unlike a process-global serial — identical
+  // across repeated runs (the determinism audit compares trace digests).
   d.services = std::move(services);
   return d;
 }

@@ -47,7 +47,7 @@ class HttpParser {
   explicit HttpParser(Kind kind) : kind_(kind) {}
 
   /// Feed stream bytes. Returns true once the full message is available.
-  Result<bool> feed(std::span<const std::uint8_t> chunk);
+  [[nodiscard]] Result<bool> feed(std::span<const std::uint8_t> chunk);
 
   const HttpRequest& request() const { return request_; }
   const HttpResponse& response() const { return response_; }
@@ -55,7 +55,7 @@ class HttpParser {
   void reset();
 
  private:
-  Result<bool> try_parse();
+  [[nodiscard]] Result<bool> try_parse();
 
   Kind kind_;
   std::string buffer_;
@@ -86,7 +86,7 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   void stop();
 
   void route(std::string path, HttpHandler handler);

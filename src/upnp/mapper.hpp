@@ -30,7 +30,7 @@ class UpnpTranslator final : public core::Translator {
 
   ~UpnpTranslator() override;
 
-  Result<void> deliver(const std::string& port, const core::Message& msg) override;
+  [[nodiscard]] Result<void> deliver(const std::string& port, const core::Message& msg) override;
   bool ready(const std::string& port) const override;
   void on_mapped() override;
   void on_unmapped() override;

@@ -37,13 +37,13 @@ class SsdpAgent {
   SsdpAgent(const SsdpAgent&) = delete;
   SsdpAgent& operator=(const SsdpAgent&) = delete;
 
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   void stop();
 
   /// Control-point side: called for alive/byebye notifies and search replies.
   void on_announcement(AnnouncementFn fn) { on_announcement_ = std::move(fn); }
   /// Multicast an M-SEARCH for the given search target ("ssdp:all" or a URN).
-  Result<void> search(const std::string& target, int mx_seconds = 2);
+  [[nodiscard]] Result<void> search(const std::string& target, int mx_seconds = 2);
 
   /// Device side: register something to be announced and answered for.
   void advertise(SsdpAnnouncement announcement);

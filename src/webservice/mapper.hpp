@@ -29,7 +29,7 @@ class WsTranslator final : public core::Translator {
   WsTranslator(WsMapper& mapper, WsEntry entry, const core::UsdlService& usdl);
   ~WsTranslator() override;
 
-  Result<void> deliver(const std::string& port, const core::Message& msg) override;
+  [[nodiscard]] Result<void> deliver(const std::string& port, const core::Message& msg) override;
   bool ready(const std::string& port) const override;
   void on_mapped() override;
   void on_unmapped() override;

@@ -25,7 +25,7 @@ class WsRegistry {
   WsRegistry(const WsRegistry&) = delete;
   WsRegistry& operator=(const WsRegistry&) = delete;
 
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   void stop();
 
   std::size_t size() const { return entries_.size(); }

@@ -25,13 +25,13 @@ namespace umiddle::ws {
 
 /// Build / parse the XML-RPC-ish documents (exposed for tests).
 std::string encode_method_call(const std::string& method, const Bytes& param);
-Result<std::pair<std::string, Bytes>> decode_method_call(std::string_view body);
+[[nodiscard]] Result<std::pair<std::string, Bytes>> decode_method_call(std::string_view body);
 std::string encode_method_response(const Bytes& param);
 std::string encode_fault(const std::string& message);
 /// Returns the response param, or an error carrying the fault message.
-Result<Bytes> decode_method_response(std::string_view body);
+[[nodiscard]] Result<Bytes> decode_method_response(std::string_view body);
 std::string encode_notification(const Bytes& param);
-Result<Bytes> decode_notification(std::string_view body);
+[[nodiscard]] Result<Bytes> decode_notification(std::string_view body);
 
 /// An XML-RPC endpoint with named methods and webhook subscribers.
 class WsService {
@@ -44,7 +44,7 @@ class WsService {
   WsService(const WsService&) = delete;
   WsService& operator=(const WsService&) = delete;
 
-  Result<void> start();
+  [[nodiscard]] Result<void> start();
   void stop();
 
   void export_method(const std::string& method, MethodFn fn);

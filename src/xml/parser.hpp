@@ -11,6 +11,6 @@
 namespace umiddle::xml {
 
 /// Parse a complete document; the returned element is the root.
-Result<Element> parse(std::string_view text);
+[[nodiscard]] Result<Element> parse(std::string_view text);
 
 }  // namespace umiddle::xml

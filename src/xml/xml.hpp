@@ -72,6 +72,6 @@ class Element {
 /// Escape &<>"' for use in text or attribute values.
 std::string escape(std::string_view s);
 /// Resolve the five predefined entities plus decimal/hex character references.
-Result<std::string> unescape(std::string_view s);
+[[nodiscard]] Result<std::string> unescape(std::string_view s);
 
 }  // namespace umiddle::xml

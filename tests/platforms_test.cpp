@@ -265,7 +265,9 @@ TEST(MbProtocolTest, FrameRoundTrips) {
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].op, op);
     EXPECT_EQ(out[0].stream, "cam-1");
-    if (op == mb::Op::data) EXPECT_EQ(out[0].payload.size(), 37u);
+    if (op == mb::Op::data) {
+      EXPECT_EQ(out[0].payload.size(), 37u);
+    }
     if (op == mb::Op::produce || op == mb::Op::announce) {
       EXPECT_EQ(out[0].media_type, "image/jpeg");
     }

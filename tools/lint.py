@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for the uMiddle tree.
+
+Enforces repo-specific correctness rules that no off-the-shelf tool knows.
+The reproduction's central claim is that every run of the simulated world is
+deterministic (DESIGN.md, "Correctness & determinism"); most of these rules
+exist to keep nondeterminism from leaking back in:
+
+  wall-clock   src/ may not read host time: no std::chrono::system_clock /
+               steady_clock / high_resolution_clock, no time()/gettimeofday/
+               clock_gettime, no <ctime>. Virtual time (sim::Scheduler) only.
+  randomness   src/ may not use std::rand/srand, std::random_device, <random>,
+               or getpid/this_thread ids as entropy. The seeded splitmix64 Rng
+               in common/rand.hpp is the only sanctioned randomness source.
+  threads      sim-deterministic modules may not include <thread>, <mutex>,
+               <condition_variable>, <future> or <atomic>: the discrete-event
+               core is single-threaded by contract. (common/log.* is the one
+               sanctioned exception — the host-side log sink is thread-safe.)
+  ptr-keys     no std::unordered_map/unordered_set keyed on a raw pointer:
+               iteration order would depend on allocation addresses, which
+               differ between runs and would break the trace-digest audit.
+  new-delete   no raw new/delete expressions; ownership goes through
+               std::unique_ptr/std::shared_ptr (make_unique/make_shared).
+  nodiscard    every function declared in a header with a Result<...> return
+               must be [[nodiscard]] (belt and braces on top of the
+               class-level [[nodiscard]]: the annotation survives even if the
+               class attribute is ever lost, and documents intent at the API).
+
+Run directly:      python3 tools/lint.py --root .
+Run via ctest:     ctest -R lint
+Self-test (proves every rule still fires on a seeded violation):
+                   python3 tools/lint.py --root . --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Callable, Iterable, NamedTuple
+
+SRC_EXTENSIONS = {".cpp", ".hpp", ".h", ".cc"}
+
+
+class Violation(NamedTuple):
+    rule: str
+    path: str
+    line: int
+    text: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.text}"
+
+
+def strip_comments_and_strings(source: str) -> str:
+    """Blank out comments and string/char literals, preserving line numbers.
+
+    A lexer-grade pass is overkill; this handles //, /* */, "..." and '...'
+    well enough for token bans (escaped quotes included).
+    """
+    out = []
+    i, n = 0, len(source)
+    while i < n:
+        c = source[i]
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            j = source.find("\n", i)
+            i = n if j == -1 else j
+        elif c == "/" and i + 1 < n and source[i + 1] == "*":
+            j = source.find("*/", i + 2)
+            end = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in source[i:end]))
+            i = end
+        elif c in ('"', "'"):
+            quote = c
+            j = i + 1
+            while j < n and source[j] != quote:
+                j += 2 if source[j] == "\\" else 1
+            out.append(quote + " " * max(0, min(j, n) - i - 1))
+            if j < n:
+                out.append(quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# --- rules ----------------------------------------------------------------------
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"),
+     "host clock read; simulated code uses virtual time (sim::Scheduler::now)"),
+    (re.compile(r"\b(system_clock|steady_clock|high_resolution_clock)::now\b"),
+     "host clock read; simulated code uses virtual time (sim::Scheduler::now)"),
+    (re.compile(r"(?:\btime|\bgettimeofday|\bclock_gettime|\blocaltime|\bgmtime)\s*\("),
+     "C time API; simulated code uses virtual time (sim::Scheduler::now)"),
+    (re.compile(r"#\s*include\s*<ctime>"), "<ctime> banned in src/ (virtual time only)"),
+]
+
+RANDOMNESS_PATTERNS = [
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\("),
+     "unseeded C randomness; use the splitmix64 Rng from common/rand.hpp"),
+    (re.compile(r"\brandom_device\b"),
+     "entropy source; use the seeded Rng from common/rand.hpp"),
+    (re.compile(r"#\s*include\s*<random>"),
+     "<random> banned in src/; common/rand.hpp Rng is the only randomness source"),
+    (re.compile(r"\bgetpid\s*\(|\bthis_thread::get_id\b"),
+     "process/thread identity as entropy breaks reproducibility"),
+]
+
+THREADING_RE = re.compile(r"#\s*include\s*<(thread|mutex|condition_variable|future|atomic)>")
+# The log sink is host-side infrastructure shared with (future) threaded
+# front-ends; it is the only module allowed to synchronize.
+THREADING_ALLOWLIST = {"src/common/log.cpp", "src/common/log.hpp"}
+
+PTR_KEY_RE = re.compile(r"unordered_(?:map|set)\s*<[^,>]*\*")
+
+NEW_DELETE_RE = re.compile(r"(?<![:\w])(?:new|delete(?:\s*\[\s*\])?)\s+[A-Za-z_(]")
+NEW_DELETE_ALLOW_RE = re.compile(r"=\s*delete\b")  # deleted special members
+
+RESULT_DECL_RE = re.compile(r"^\s*(?:virtual\s+)?Result<[^;{}]*>\s+\w+\s*\(")
+NODISCARD_RE = re.compile(r"\[\[nodiscard\]\]")
+
+
+def scan_tokens(path: str, code: str, patterns, rule: str) -> Iterable[Violation]:
+    for lineno, line in enumerate(code.splitlines(), 1):
+        for pattern, why in patterns:
+            if pattern.search(line):
+                yield Violation(rule, path, lineno, why)
+
+
+def check_wall_clock(path: str, code: str) -> Iterable[Violation]:
+    yield from scan_tokens(path, code, WALL_CLOCK_PATTERNS, "wall-clock")
+
+
+def check_randomness(path: str, code: str) -> Iterable[Violation]:
+    yield from scan_tokens(path, code, RANDOMNESS_PATTERNS, "randomness")
+
+
+def check_threading(path: str, code: str) -> Iterable[Violation]:
+    if path in THREADING_ALLOWLIST:
+        return
+    for lineno, line in enumerate(code.splitlines(), 1):
+        m = THREADING_RE.search(line)
+        if m:
+            yield Violation("threads", path, lineno,
+                            f"<{m.group(1)}> in a sim-deterministic module "
+                            "(the event core is single-threaded by contract)")
+
+
+def check_pointer_keys(path: str, code: str) -> Iterable[Violation]:
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if PTR_KEY_RE.search(line):
+            yield Violation("ptr-keys", path, lineno,
+                            "unordered container keyed on a pointer: iteration "
+                            "order follows allocation addresses and diverges "
+                            "across runs (use an Id type or an ordered map)")
+
+
+def check_new_delete(path: str, code: str) -> Iterable[Violation]:
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if NEW_DELETE_ALLOW_RE.search(line):
+            continue
+        if NEW_DELETE_RE.search(line):
+            yield Violation("new-delete", path, lineno,
+                            "raw new/delete; ownership goes through "
+                            "std::make_unique / std::make_shared")
+
+
+def check_nodiscard(path: str, code: str) -> Iterable[Violation]:
+    if not path.endswith((".hpp", ".h")):
+        return
+    lines = code.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if not RESULT_DECL_RE.match(line):
+            continue
+        prev = lines[lineno - 2] if lineno >= 2 else ""
+        if NODISCARD_RE.search(line) or NODISCARD_RE.search(prev):
+            continue
+        yield Violation("nodiscard", path, lineno,
+                        "Result-returning declaration without [[nodiscard]]")
+
+
+CHECKS: list[Callable[[str, str], Iterable[Violation]]] = [
+    check_wall_clock,
+    check_randomness,
+    check_threading,
+    check_pointer_keys,
+    check_new_delete,
+    check_nodiscard,
+]
+
+
+def lint_file(rel_path: str, source: str) -> list[Violation]:
+    code = strip_comments_and_strings(source)
+    found: list[Violation] = []
+    for check in CHECKS:
+        found.extend(check(rel_path, code))
+    return found
+
+
+def lint_tree(root: pathlib.Path) -> list[Violation]:
+    violations: list[Violation] = []
+    src = root / "src"
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in SRC_EXTENSIONS or not path.is_file():
+            continue
+        rel = path.relative_to(root).as_posix()
+        violations.extend(lint_file(rel, path.read_text(encoding="utf-8")))
+    return violations
+
+
+# --- self-test -------------------------------------------------------------------
+
+SEEDED_VIOLATIONS = [
+    # (rule expected to fire, pretend-path, source snippet)
+    ("wall-clock", "src/sim/evil.cpp",
+     "auto t = std::chrono::system_clock::now();\n"),
+    ("wall-clock", "src/core/evil.cpp",
+     "#include <ctime>\nlong now = time(nullptr);\n"),
+    ("randomness", "src/core/evil.cpp",
+     "int r = std::rand();\n"),
+    ("randomness", "src/netsim/evil.cpp",
+     "#include <random>\nstd::random_device rd;\n"),
+    ("threads", "src/sim/evil.cpp",
+     "#include <thread>\n#include <mutex>\n"),
+    ("ptr-keys", "src/core/evil.hpp",
+     "std::unordered_map<Stream*, int> by_stream;\n"),
+    ("new-delete", "src/core/evil.cpp",
+     "auto* p = new Translator();\ndelete p;\n"),
+    ("nodiscard", "src/xml/evil.hpp",
+     "Result<Element> parse_evil(std::string_view text);\n"),
+]
+
+CLEAN_SNIPPETS = [
+    # Things that look suspicious but are sanctioned; the linter must pass them.
+    ("src/sim/fine.cpp",
+     "// std::chrono::system_clock::now() is banned — in a comment it is fine\n"
+     'const char* s = "time(nullptr) inside a string literal";\n'
+     "auto d = std::chrono::nanoseconds(5);\n"),
+    ("src/core/fine.hpp",
+     "[[nodiscard]] Result<int> parse_fine(std::string_view text);\n"
+     "Stream(const Stream&) = delete;\n"
+     "auto p = std::make_unique<int>(3);\n"
+     "sim::Duration busy_time(int frames);\n"),
+    ("src/common/log.cpp",
+     "#include <mutex>\n"),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for rule, path, snippet in SEEDED_VIOLATIONS:
+        fired = {v.rule for v in lint_file(path, snippet)}
+        if rule not in fired:
+            print(f"SELF-TEST FAIL: rule '{rule}' did not fire on seeded "
+                  f"violation in {path} (fired: {sorted(fired) or 'none'})")
+            failures += 1
+    for path, snippet in CLEAN_SNIPPETS:
+        extra = lint_file(path, snippet)
+        if extra:
+            print(f"SELF-TEST FAIL: clean snippet {path} raised: "
+                  + "; ".join(str(v) for v in extra))
+            failures += 1
+    if failures == 0:
+        print(f"self-test ok: {len(SEEDED_VIOLATIONS)} seeded violations caught, "
+              f"{len(CLEAN_SNIPPETS)} sanctioned snippets passed")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=".", help="repository root (contains src/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on a seeded violation")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"error: {root} has no src/ directory", file=sys.stderr)
+        return 2
+    violations = lint_tree(root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\n{len(violations)} violation(s). These rules guard the "
+              "determinism contract — see tools/lint.py docstring and "
+              "DESIGN.md 'Correctness & determinism'.")
+        return 1
+    print("lint ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
