@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "common/rand.hpp"
@@ -143,6 +144,87 @@ void BM_CoarseLookup(benchmark::State& state) {
 
 BENCHMARK(BM_FineLookup)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(BM_CoarseLookup)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+/// A directory populated with `n` translators drawn from the blueprint
+/// population — the real `core::Directory` hot path, not a raw shape scan.
+/// The runtime is never start()ed: no sockets, no timers, no announcements —
+/// the benchmark measures lookup cost only.
+struct DirectoryWorld {
+  sim::Scheduler sched;
+  net::Network net{sched, 1};
+  std::unique_ptr<core::Runtime> runtime;
+
+  explicit DirectoryWorld(std::size_t n) {
+    net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+    (void)net.add_host("bench").ok();
+    (void)net.attach("bench", lan).ok();
+    core::RuntimeConfig cfg;
+    cfg.node_id = 1;
+    runtime = std::make_unique<core::Runtime>(sched, net, "bench", cfg);
+    Rng rng(7);
+    auto devices = make_population(n, rng);
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      core::TranslatorProfile profile;
+      profile.id = TranslatorId(i + 1);
+      profile.name = devices[i].type_name + "-" + std::to_string(i);
+      profile.platform = "bench";
+      profile.device_type = devices[i].type_name;
+      profile.node = runtime->node();
+      profile.shape = devices[i].shape;
+      runtime->directory().publish_local(profile);
+    }
+  }
+};
+
+// Sparse-hit query: audio consumers are ~1/9 of the blueprint population, so
+// the lookup cost is dominated by deciding who matches, not by copying the
+// result — exactly the component a directory index can remove.
+void BM_DirectoryLookup(benchmark::State& state) {
+  DirectoryWorld world(static_cast<std::size_t>(state.range(0)));
+  const core::Directory& dir = world.runtime->directory();
+  core::Query query = core::Query().digital_input(MimeType::of("audio/wav"));
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    auto out = dir.lookup(query);
+    hits += out.size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+// Capability miss: the application probes for a media type nobody provides
+// (every failed connect() and every re-bind poll pays this path).
+void BM_DirectoryLookupMiss(benchmark::State& state) {
+  DirectoryWorld world(static_cast<std::size_t>(state.range(0)));
+  const core::Directory& dir = world.runtime->directory();
+  core::Query query = core::Query().digital_input(MimeType::of("video/mp4"));
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    auto out = dir.lookup(query);
+    hits += out.size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+// The retained reference scan, same query as BM_DirectoryLookup — the
+// committed BENCH_*.json files juxtapose the two.
+void BM_DirectoryLookupLinear(benchmark::State& state) {
+  DirectoryWorld world(static_cast<std::size_t>(state.range(0)));
+  const core::Directory& dir = world.runtime->directory();
+  core::Query query = core::Query().digital_input(MimeType::of("audio/wav"));
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    auto out = dir.lookup_linear(query);
+    hits += out.size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+BENCHMARK(BM_DirectoryLookup)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_DirectoryLookupMiss)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_DirectoryLookupLinear)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 }  // namespace
 

@@ -32,6 +32,12 @@ void ByteWriter::str16(std::string_view s) {
   str(s);
 }
 
+void ByteWriter::patch_u32(std::size_t pos, std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buf_[pos++] = static_cast<std::uint8_t>(v >> shift);
+  }
+}
+
 Result<void> ByteReader::need(std::size_t n) {
   if (remaining() < n) {
     return make_error(Errc::parse_error,

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -13,6 +14,16 @@
 namespace umiddle {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// Shared immutable payload buffer. The netsim/UMTP hot path hands message
+/// payloads around as PayloadPtr so a frame is referenced, not copied, at each
+/// of marshal → frame → segment → deliver. Once wrapped, the buffer must never
+/// be mutated — any layer that needs to modify data makes its own copy.
+using PayloadPtr = std::shared_ptr<const Bytes>;
+
+inline PayloadPtr make_payload(Bytes data) {
+  return std::make_shared<const Bytes>(std::move(data));
+}
 
 /// Append-only big-endian encoder.
 class ByteWriter {
@@ -25,6 +36,9 @@ class ByteWriter {
   void str(std::string_view s);  ///< raw bytes, no length prefix
   /// u16 length prefix followed by the string bytes.
   void str16(std::string_view s);
+  /// Overwrite 4 previously written bytes at `pos` with a big-endian u32 —
+  /// for back-patching a length field without a second buffer.
+  void patch_u32(std::size_t pos, std::uint32_t v);
 
   const Bytes& data() const { return buf_; }
   Bytes take() { return std::move(buf_); }

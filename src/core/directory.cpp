@@ -1,5 +1,7 @@
 #include "core/directory.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "core/runtime.hpp"
@@ -22,12 +24,33 @@ xml::Element Directory::envelope(const char* type) const {
 }
 
 void Directory::multicast(const xml::Element& advert) {
+  multicast_payload(make_payload(to_bytes(advert.to_string())));
+}
+
+void Directory::multicast_payload(const PayloadPtr& payload) {
   net::Endpoint from{runtime_.host(), runtime_.config().directory_port};
   auto r = runtime_.network().udp_multicast(from, runtime_.config().group,
-                                            runtime_.config().directory_port,
-                                            to_bytes(advert.to_string()));
+                                            runtime_.config().directory_port, payload);
   if (!r.ok()) {
     log::Entry(log::Level::warn, "directory") << "multicast failed: " << r.error().to_string();
+  }
+}
+
+void Directory::index_profile(const TranslatorProfile& profile) {
+  for (const PortSpec& port : profile.shape.ports()) {
+    shape_index_[IndexKey{static_cast<int>(port.kind), static_cast<int>(port.direction),
+                          port.type.type()}]
+        .insert(profile.id);
+  }
+}
+
+void Directory::unindex_profile(const TranslatorProfile& profile) {
+  for (const PortSpec& port : profile.shape.ports()) {
+    auto it = shape_index_.find(IndexKey{static_cast<int>(port.kind),
+                                         static_cast<int>(port.direction), port.type.type()});
+    if (it == shape_index_.end()) continue;
+    it->second.erase(profile.id);
+    if (it->second.empty()) shape_index_.erase(it);
   }
 }
 
@@ -70,6 +93,8 @@ void Directory::refresh_tick() {
     }
   }
   for (const TranslatorProfile& profile : expired) {
+    unindex_profile(profile);
+    announce_cache_.erase(profile.id);
     profiles_.erase(profile.id);
     last_seen_.erase(profile.id);
     log::Entry(log::Level::info, "directory")
@@ -99,6 +124,71 @@ void Directory::stop() {
 }
 
 std::vector<TranslatorProfile> Directory::lookup(const Query& query) const {
+  // Pick an indexable requirement: one naming both kind and direction,
+  // preferring one with a concrete MIME major type (the smallest buckets).
+  // Candidates drawn from that requirement's buckets are a superset of every
+  // profile the full query can match; the final matches() filter makes the
+  // result exact, so lookup() == lookup_linear() by construction.
+  const PortQuery* best = nullptr;
+  bool best_concrete = false;
+  for (const PortQuery& pq : query.requirements()) {
+    if (!pq.kind || !pq.direction) continue;
+    const bool concrete = pq.type.has_value() && pq.type->type() != "*";
+    if (best == nullptr || (concrete && !best_concrete)) {
+      best = &pq;
+      best_concrete = concrete;
+    }
+    if (best_concrete) break;
+  }
+  if (best == nullptr) return lookup_linear(query);
+
+  const int kind = static_cast<int>(*best->kind);
+  const int direction = static_cast<int>(*best->direction);
+  std::vector<TranslatorId> candidates;
+  if (best_concrete) {
+    // A port satisfies a concrete-major requirement iff its own major equals
+    // the query's or is the wildcard — exactly two buckets.
+    static const std::string kAnyMajor = "*";
+    const std::set<TranslatorId>* exact = nullptr;
+    const std::set<TranslatorId>* any = nullptr;
+    if (auto it = shape_index_.find(IndexKey{kind, direction, best->type->type()});
+        it != shape_index_.end()) {
+      exact = &it->second;
+    }
+    if (auto it = shape_index_.find(IndexKey{kind, direction, kAnyMajor});
+        it != shape_index_.end()) {
+      any = &it->second;
+    }
+    if (exact != nullptr && any != nullptr) {
+      candidates.reserve(exact->size() + any->size());
+      std::set_union(exact->begin(), exact->end(), any->begin(), any->end(),
+                     std::back_inserter(candidates));
+    } else if (const std::set<TranslatorId>* only = exact != nullptr ? exact : any;
+               only != nullptr) {
+      candidates.assign(only->begin(), only->end());
+    }
+  } else {
+    // Requirement accepts any major: every (kind, direction, ·) bucket.
+    for (auto it = shape_index_.lower_bound(IndexKey{kind, direction, std::string()});
+         it != shape_index_.end() && std::get<0>(it->first) == kind &&
+         std::get<1>(it->first) == direction;
+         ++it) {
+      candidates.insert(candidates.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+  }
+
+  std::vector<TranslatorProfile> out;
+  out.reserve(candidates.size());
+  for (TranslatorId id : candidates) {
+    auto it = profiles_.find(id);
+    if (it != profiles_.end() && matches(query, it->second)) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<TranslatorProfile> Directory::lookup_linear(const Query& query) const {
   std::vector<TranslatorProfile> out;
   for (const auto& [id, profile] : profiles_) {
     if (matches(query, profile)) out.push_back(profile);
@@ -125,7 +215,12 @@ const NodeInfo* Directory::node_info(NodeId id) const {
 }
 
 void Directory::publish_local(const TranslatorProfile& profile) {
+  if (auto it = profiles_.find(profile.id); it != profiles_.end()) {
+    unindex_profile(it->second);  // re-publish may carry a different shape
+  }
+  announce_cache_.erase(profile.id);
   profiles_[profile.id] = profile;
+  index_profile(profile);
   notify_mapped(profile);
   if (started_) send_announce(profile);
 }
@@ -134,6 +229,8 @@ void Directory::withdraw_local(TranslatorId id) {
   auto it = profiles_.find(id);
   if (it == profiles_.end()) return;
   TranslatorProfile profile = it->second;
+  unindex_profile(it->second);
+  announce_cache_.erase(id);
   profiles_.erase(it);
   notify_unmapped(profile);
   if (started_) {
@@ -144,9 +241,16 @@ void Directory::withdraw_local(TranslatorId id) {
 }
 
 void Directory::send_announce(const TranslatorProfile& profile) {
-  xml::Element adv = envelope("announce");
-  adv.add_child(profile.to_xml());
-  multicast(adv);
+  // The serialized advertisement only changes when the profile does (the
+  // envelope attributes are fixed per runtime), so periodic re-announcements
+  // multicast one cached buffer.
+  auto it = announce_cache_.find(profile.id);
+  if (it == announce_cache_.end()) {
+    xml::Element adv = envelope("announce");
+    adv.add_child(profile.to_xml());
+    it = announce_cache_.emplace(profile.id, make_payload(to_bytes(adv.to_string()))).first;
+  }
+  multicast_payload(it->second);
 }
 
 void Directory::announce_all_local() {
@@ -197,8 +301,11 @@ void Directory::handle_datagram(const net::Endpoint& from, const Bytes& payload)
           << "bad announce: " << profile.error().to_string();
       return;
     }
-    bool fresh = profiles_.count(profile.value().id) == 0;
+    auto existing = profiles_.find(profile.value().id);
+    const bool fresh = existing == profiles_.end();
+    if (!fresh) unindex_profile(existing->second);  // re-announce may change the shape
     profiles_[profile.value().id] = profile.value();
+    index_profile(profile.value());
     last_seen_[profile.value().id] = runtime_.scheduler().now();
     if (fresh) notify_mapped(profile.value());
   } else if (type == "bye") {
@@ -207,6 +314,7 @@ void Directory::handle_datagram(const net::Endpoint& from, const Bytes& payload)
     auto it = profiles_.find(TranslatorId(id_raw));
     if (it == profiles_.end()) return;
     TranslatorProfile profile = it->second;
+    unindex_profile(it->second);
     profiles_.erase(it);
     last_seen_.erase(profile.id);
     notify_unmapped(profile);

@@ -19,6 +19,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
+#include <tuple>
 #include <vector>
 
 #include "core/profile.hpp"
@@ -80,6 +82,11 @@ class Directory {
   // --- paper Fig. 6 API -------------------------------------------------------
   /// Profiles of all known translators (local and remote) matching the query.
   std::vector<TranslatorProfile> lookup(const Query& query) const;
+  /// Reference implementation of lookup(): an unindexed scan over every known
+  /// profile. Kept as the oracle for the indexed lookup's property tests and
+  /// for benchmark comparison; returns the same profiles in the same
+  /// (ascending-id) order as lookup().
+  std::vector<TranslatorProfile> lookup_linear(const Query& query) const;
   /// Register for map/unmap notifications. The listener must outlive the
   /// directory or be removed first.
   void add_directory_listener(DirectoryListener* listener);
@@ -96,6 +103,10 @@ class Directory {
   void withdraw_local(TranslatorId id);
 
  private:
+  /// Inverted-index bucket key: (port kind, direction, MIME major type). Ports
+  /// whose type has a wildcard major land in the "*" bucket.
+  using IndexKey = std::tuple<int, int, std::string>;
+
   void handle_datagram(const net::Endpoint& from, const Bytes& payload);
   void send_announce(const TranslatorProfile& profile);
   void announce_all_local();
@@ -104,11 +115,25 @@ class Directory {
   void notify_unmapped(const TranslatorProfile& profile);
   xml::Element envelope(const char* type) const;
   void multicast(const xml::Element& advert);
+  void multicast_payload(const PayloadPtr& payload);
+  /// Add/remove a profile's ports in shape_index_. Every mutation of
+  /// profiles_ must pair with one of these (and drop the announce cache).
+  void index_profile(const TranslatorProfile& profile);
+  void unindex_profile(const TranslatorProfile& profile);
 
   Runtime& runtime_;
   bool started_ = false;
   sim::Duration max_age_ = sim::seconds(30);
   std::map<TranslatorId, TranslatorProfile> profiles_;
+  /// Inverted index over profile shapes: lookup() walks only the buckets a
+  /// query's (kind, direction, major) requirement can possibly match instead
+  /// of scanning every profile. Buckets are ordered sets so candidate merging
+  /// preserves lookup_linear()'s ascending-id result order.
+  std::map<IndexKey, std::set<TranslatorId>> shape_index_;
+  /// Serialized announce advertisement per *local* translator; rebuilt lazily
+  /// after the profile changes, so periodic refresh_tick() re-announcements
+  /// reuse one buffer instead of re-serializing XML every max_age/3.
+  std::map<TranslatorId, PayloadPtr> announce_cache_;
   /// Last refresh time per *remote* translator (locals never expire).
   std::map<TranslatorId, sim::TimePoint> last_seen_;
   std::map<NodeId, NodeInfo> nodes_;

@@ -182,14 +182,20 @@ std::vector<PortRef> Transport::bound_destinations(PathId id) const {
 // --- routing ----------------------------------------------------------------------
 
 void Transport::route(const PortRef& src, const Message& msg) {
+  // One shared copy serves every path and destination the message fans out to
+  // (created lazily: most emits hit exactly one path).
+  std::shared_ptr<const Message> shared;
   for (auto& [id, path] : paths_) {
     if (!(path.src == src)) continue;
-    for (const PortRef& dst : path.bound) enqueue(path, dst, msg);
+    for (const PortRef& dst : path.bound) {
+      if (shared == nullptr) shared = std::make_shared<const Message>(msg);
+      enqueue(path, dst, shared);
+    }
   }
 }
 
-void Transport::enqueue(Path& path, const PortRef& dst, const Message& msg) {
-  const std::size_t bytes = msg.payload.size();
+void Transport::enqueue(Path& path, const PortRef& dst, const std::shared_ptr<const Message>& msg) {
+  const std::size_t bytes = msg->payload.size();
   if (path.qos.bounded() &&
       path.stats.buffered_bytes + bytes > path.qos.max_buffered_bytes) {
     path.stats.messages_dropped += 1;
@@ -222,7 +228,7 @@ void Transport::drain(Path& path) {
   if (path.queue.empty()) return;
 
   Pending& front = path.queue.front();
-  const std::size_t bytes = front.msg.payload.size();
+  const std::size_t bytes = front.msg->payload.size();
 
   if (path.qos.shaped()) {
     sim::Duration delay = path.bucket->delay_for(bytes, runtime_.scheduler().now());
@@ -280,7 +286,7 @@ void Transport::dispatch(Path& path, Pending item) {
     return;
   }
   path.stats.messages_forwarded += 1;
-  path.stats.bytes_forwarded += item.msg.payload.size();
+  path.stats.bytes_forwarded += item.msg->payload.size();
 
   if (profile->node == runtime_.node()) {
     Translator* t = runtime_.translator(item.dst.translator);
@@ -288,7 +294,7 @@ void Transport::dispatch(Path& path, Pending item) {
       path.stats.messages_dropped += 1;
       return;
     }
-    if (auto r = t->deliver(item.dst.port, item.msg); !r.ok()) {
+    if (auto r = t->deliver(item.dst.port, *item.msg); !r.ok()) {
       log::Entry(log::Level::warn, "transport")
           << "deliver to " << item.dst.to_string() << " failed: " << r.error().to_string();
     }
@@ -300,7 +306,7 @@ void Transport::dispatch(Path& path, Pending item) {
     path.stats.messages_dropped += 1;
     return;
   }
-  link_send(*link, umtp::encode(umtp::Frame{umtp::DataFrame{item.dst, std::move(item.msg)}}));
+  link_send(*link, umtp::encode_data(item.dst, *item.msg));
 }
 
 void Transport::notify_ready(TranslatorId) { resume_paths(); }
@@ -341,7 +347,7 @@ void Transport::on_unmapped(const TranslatorProfile& profile) {
     std::size_t dropped_bytes = 0;
     std::erase_if(path.queue, [&](const Pending& p) {
       if (p.dst.translator != profile.id) return false;
-      dropped_bytes += p.msg.payload.size();
+      dropped_bytes += p.msg->payload.size();
       path.stats.messages_dropped += 1;
       return true;
     });

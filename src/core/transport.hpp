@@ -85,9 +85,12 @@ class Transport final : public DirectoryListener {
   void on_unmapped(const TranslatorProfile& profile) override;
 
  private:
+  /// One queued message. The Message is shared, never copied: route() wraps
+  /// the emitted message once and every bound destination's queue entry
+  /// references that same buffer (payload-sharing rule, DESIGN.md §8).
   struct Pending {
     PortRef dst;
-    Message msg;
+    std::shared_ptr<const Message> msg;
   };
 
   struct Path {
@@ -122,7 +125,7 @@ class Transport final : public DirectoryListener {
   void bind_query_matches(Path& path);
   /// First input port of `profile` connectable from the source type, if any.
   std::optional<PortRef> pick_input_port(const Path& path, const TranslatorProfile& profile) const;
-  void enqueue(Path& path, const PortRef& dst, const Message& msg);
+  void enqueue(Path& path, const PortRef& dst, const std::shared_ptr<const Message>& msg);
   void drain(Path& path);
   void schedule_drain(PathId id, sim::Duration delay);
   /// True if the destination can accept a message right now.

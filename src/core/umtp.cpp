@@ -7,19 +7,23 @@ namespace {
 
 constexpr std::size_t kMaxFrame = 16 * 1024 * 1024;
 
+void encode_data_body(const PortRef& dst, const Message& message, ByteWriter& w) {
+  w.u8(static_cast<std::uint8_t>(FrameType::data));
+  w.u64(dst.translator.value());
+  w.str16(dst.port);
+  w.str16(message.type.to_string());
+  w.u16(static_cast<std::uint16_t>(message.meta.size()));
+  for (const auto& [k, v] : message.meta) {
+    w.str16(k);
+    w.str16(v);
+  }
+  w.u32(static_cast<std::uint32_t>(message.payload.size()));
+  w.bytes(message.payload);
+}
+
 void encode_body(const Frame& frame, ByteWriter& w) {
   if (const auto* data = std::get_if<DataFrame>(&frame)) {
-    w.u8(static_cast<std::uint8_t>(FrameType::data));
-    w.u64(data->dst.translator.value());
-    w.str16(data->dst.port);
-    w.str16(data->message.type.to_string());
-    w.u16(static_cast<std::uint16_t>(data->message.meta.size()));
-    for (const auto& [k, v] : data->message.meta) {
-      w.str16(k);
-      w.str16(v);
-    }
-    w.u32(static_cast<std::uint32_t>(data->message.payload.size()));
-    w.bytes(data->message.payload);
+    encode_data_body(data->dst, data->message, w);
   } else if (const auto* conn = std::get_if<ConnectFrame>(&frame)) {
     w.u8(static_cast<std::uint8_t>(FrameType::connect));
     w.u64(conn->path.value());
@@ -43,11 +47,20 @@ void encode_body(const Frame& frame, ByteWriter& w) {
 }  // namespace
 
 Bytes encode(const Frame& frame) {
-  ByteWriter body;
-  encode_body(frame, body);
+  // Single-buffer encode: write a length placeholder, the body, then patch the
+  // length — the seed's body-then-copy pattern copied every payload twice.
   ByteWriter out;
-  out.u32(static_cast<std::uint32_t>(body.size()));
-  out.bytes(body.data());
+  out.u32(0);
+  encode_body(frame, out);
+  out.patch_u32(0, static_cast<std::uint32_t>(out.size() - 4));
+  return out.take();
+}
+
+Bytes encode_data(const PortRef& dst, const Message& message) {
+  ByteWriter out;
+  out.u32(0);
+  encode_data_body(dst, message, out);
+  out.patch_u32(0, static_cast<std::uint32_t>(out.size() - 4));
   return out.take();
 }
 
@@ -135,22 +148,29 @@ Result<Frame> decode_body(std::span<const std::uint8_t> body) {
 Result<void> FrameAssembler::feed(std::span<const std::uint8_t> chunk, std::vector<Frame>& out) {
   if (poisoned_) return *poisoned_;
   buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
-  while (buffer_.size() >= 4) {
-    ByteReader header(buffer_);
+  // Consume with a cursor and erase the prefix once: erasing the buffer front
+  // per frame made a burst of n frames cost O(n^2) byte moves.
+  std::size_t pos = 0;
+  while (buffer_.size() - pos >= 4) {
+    ByteReader header(std::span<const std::uint8_t>(buffer_).subspan(pos));
     std::uint32_t len = header.u32().value();
     if (len > kMaxFrame) {
       poisoned_ = make_error(Errc::protocol_error, "frame too large: " + std::to_string(len));
-      return *poisoned_;
+      break;
     }
-    if (buffer_.size() < 4 + len) break;
-    auto frame = decode_body(std::span(buffer_).subspan(4, len));
+    if (buffer_.size() - pos < 4 + len) break;
+    auto frame = decode_body(std::span(buffer_).subspan(pos + 4, len));
     if (!frame.ok()) {
       poisoned_ = frame.error();
-      return *poisoned_;
+      break;
     }
     out.push_back(std::move(frame).take());
-    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+    pos += 4 + len;
   }
+  if (pos != 0) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  if (poisoned_) return *poisoned_;
   return ok_result();
 }
 

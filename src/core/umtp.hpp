@@ -47,6 +47,11 @@ using Frame = std::variant<DataFrame, ConnectFrame, DisconnectFrame>;
 
 Bytes encode(const Frame& frame);
 
+/// Encode a DATA frame straight from dst/message, without constructing a
+/// DataFrame (and therefore without copying the message). Byte-identical to
+/// encode(Frame{DataFrame{dst, message}}).
+Bytes encode_data(const PortRef& dst, const Message& message);
+
 /// Incrementally reassembles frames from stream chunks.
 class FrameAssembler {
  public:

@@ -130,18 +130,21 @@ Result<void> Network::udp_bind(const Endpoint& local, DatagramHandler handler) {
 void Network::udp_close(const Endpoint& local) { udp_sockets_.erase(local); }
 
 Result<void> Network::udp_send(const Endpoint& from, const Endpoint& to, Bytes payload) {
+  return udp_send(from, to, make_payload(std::move(payload)));
+}
+
+Result<void> Network::udp_send(const Endpoint& from, const Endpoint& to, PayloadPtr payload) {
   if (auto r = check_host(from.host); !r.ok()) return r;
   SegmentId seg = common_segment(from.host, to.host);
   if (!seg.valid()) {
     return make_error(Errc::disconnected,
                       "no shared segment between " + from.host + " and " + to.host);
   }
-  auto shared_payload = std::make_shared<Bytes>(std::move(payload));
   send_frame(
-      seg, from.host, shared_payload->size(),
-      [this, from, to, shared_payload]() {
+      seg, from.host, payload->size(),
+      [this, from, to, payload]() {
         auto it = udp_sockets_.find(to);
-        if (it != udp_sockets_.end()) it->second(from, *shared_payload);
+        if (it != udp_sockets_.end()) it->second(from, *payload);
       },
       /*lossless=*/false);
   return ok_result();
@@ -161,9 +164,13 @@ void Network::leave_group(const std::string& host, const std::string& group) {
 
 Result<void> Network::udp_multicast(const Endpoint& from, const std::string& group,
                                     std::uint16_t port, Bytes payload) {
+  return udp_multicast(from, group, port, make_payload(std::move(payload)));
+}
+
+Result<void> Network::udp_multicast(const Endpoint& from, const std::string& group,
+                                    std::uint16_t port, PayloadPtr payload) {
   if (auto r = check_host(from.host); !r.ok()) return r;
   const Host& sender = hosts_.at(from.host);
-  auto shared_payload = std::make_shared<Bytes>(std::move(payload));
 
   // Collect receivers: every group member sharing a segment with the sender.
   std::vector<std::string> receivers;
@@ -187,11 +194,11 @@ Result<void> Network::udp_multicast(const Endpoint& from, const std::string& gro
     }
     if (on_segment.empty()) continue;
     send_frame(
-        seg, from.host, shared_payload->size(),
-        [this, from, port, on_segment, shared_payload]() {
+        seg, from.host, payload->size(),
+        [this, from, port, on_segment, payload]() {
           for (const std::string& host : on_segment) {
             auto it = udp_sockets_.find(Endpoint{host, port});
-            if (it != udp_sockets_.end()) it->second(from, *shared_payload);
+            if (it != udp_sockets_.end()) it->second(from, *payload);
           }
         },
         /*lossless=*/false);

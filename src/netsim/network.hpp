@@ -121,6 +121,9 @@ class Network {
   void udp_close(const Endpoint& local);
   /// Unicast; fails if src/dst share no segment.
   [[nodiscard]] Result<void> udp_send(const Endpoint& from, const Endpoint& to, Bytes payload);
+  /// Copy-free unicast: the caller-provided buffer is referenced, never copied.
+  [[nodiscard]] Result<void> udp_send(const Endpoint& from, const Endpoint& to,
+                                      PayloadPtr payload);
   /// Join a multicast group on every segment the host is attached to.
   [[nodiscard]] Result<void> join_group(const std::string& host, const std::string& group);
   void leave_group(const std::string& host, const std::string& group);
@@ -128,6 +131,9 @@ class Network {
   /// (including the sender itself if joined and bound — SSDP relies on loopback).
   [[nodiscard]] Result<void> udp_multicast(const Endpoint& from, const std::string& group,
                              std::uint16_t port, Bytes payload);
+  /// Copy-free multicast; one shared buffer serves every segment and receiver.
+  [[nodiscard]] Result<void> udp_multicast(const Endpoint& from, const std::string& group,
+                                           std::uint16_t port, PayloadPtr payload);
 
   // --- stream service ---------------------------------------------------------
   [[nodiscard]] Result<void> listen(const Endpoint& local, AcceptHandler handler);

@@ -13,44 +13,74 @@ void Stream::establish() {
   if (state_ != State::connecting) return;
   state_ = State::established;
   if (on_connected_) on_connected_();
-  if (!send_queue_.empty()) pump();
+  if (queued_bytes_ != 0) pump();
 }
 
-Result<void> Stream::send(Bytes payload) {
-  if (state_ == State::closing || state_ == State::closed) {
-    return make_error(Errc::disconnected, "stream closed");
-  }
-  send_queue_.insert(send_queue_.end(), payload.begin(), payload.end());
-  if (state_ == State::established) pump();
-  return ok_result();
-}
+Result<void> Stream::send(Bytes payload) { return send(make_payload(std::move(payload))); }
 
 Result<void> Stream::send(std::string_view payload) {
   return send(Bytes(payload.begin(), payload.end()));
 }
 
+Result<void> Stream::send(PayloadPtr payload) {
+  if (state_ == State::closing || state_ == State::closed) {
+    return make_error(Errc::disconnected, "stream closed");
+  }
+  if (payload == nullptr || payload->empty()) return ok_result();  // nothing to queue
+  queued_bytes_ += payload->size();
+  send_queue_.push_back(Chunk{std::move(payload), 0});
+  if (state_ == State::established) pump();
+  return ok_result();
+}
+
 void Stream::pump() {
-  if (pumping_ || send_queue_.empty()) {
-    if (send_queue_.empty() && close_after_drain_ && state_ != State::closed) finish_close();
+  if (pumping_ || queued_bytes_ == 0) {
+    if (queued_bytes_ == 0 && close_after_drain_ && state_ != State::closed) finish_close();
     return;
   }
   pumping_ = true;
 
+  // Frame size is min(total queued bytes, MSS) — over the *total*, exactly as
+  // the byte-queue implementation chunked, so the frame sequence (and with it
+  // every wire timing) is independent of how sends were batched into buffers.
   const std::size_t mss = net_.spec(segment_).mtu_payload;
-  const std::size_t chunk_size = std::min(send_queue_.size(), mss);
-  Bytes chunk(send_queue_.begin(),
-              send_queue_.begin() + static_cast<std::ptrdiff_t>(chunk_size));
-  send_queue_.erase(send_queue_.begin(),
-                    send_queue_.begin() + static_cast<std::ptrdiff_t>(chunk_size));
+  const std::size_t chunk_size = std::min(queued_bytes_, mss);
+
+  PayloadPtr frame;
+  std::size_t frame_offset = 0;
+  if (Chunk& front = send_queue_.front(); front.data->size() - front.offset >= chunk_size) {
+    // Fast path: the frame lies inside one send() buffer — reference it.
+    frame = front.data;
+    frame_offset = front.offset;
+    front.offset += chunk_size;
+    if (front.offset == front.data->size()) send_queue_.pop_front();
+  } else {
+    // The frame spans send() boundaries: materialize one combined buffer.
+    Bytes merged;
+    merged.reserve(chunk_size);
+    std::size_t need = chunk_size;
+    while (need > 0) {
+      Chunk& c = send_queue_.front();
+      const std::size_t take = std::min(need, c.data->size() - c.offset);
+      merged.insert(merged.end(), c.data->begin() + static_cast<std::ptrdiff_t>(c.offset),
+                    c.data->begin() + static_cast<std::ptrdiff_t>(c.offset + take));
+      c.offset += take;
+      need -= take;
+      if (c.offset == c.data->size()) send_queue_.pop_front();
+    }
+    frame = make_payload(std::move(merged));
+  }
+  queued_bytes_ -= chunk_size;
   bytes_sent_ += chunk_size;
 
   auto self = shared_from_this();
-  auto shared_chunk = std::make_shared<Bytes>(std::move(chunk));
   StreamId peer = peer_;
   sim::TimePoint arrival = net_.send_frame(
       segment_, local_.host, chunk_size,
-      [this, self, peer, shared_chunk]() {
-        if (Stream* p = net_.stream(peer); p != nullptr) p->deliver(std::move(*shared_chunk));
+      [this, self, peer, frame, frame_offset, chunk_size]() {
+        if (Stream* p = net_.stream(peer); p != nullptr) {
+          p->deliver(*frame, frame_offset, chunk_size);
+        }
       },
       /*lossless=*/true);
 
@@ -62,15 +92,15 @@ void Stream::pump() {
       tx_end,
       [this, self]() {
         pumping_ = false;
-        if (send_queue_.empty() && on_drain_ && state_ == State::established) on_drain_();
+        if (queued_bytes_ == 0 && on_drain_ && state_ == State::established) on_drain_();
         pump();
       },
       {sim::host_id(local_.host), sim::tag_id("net.stream.pump")});
 }
 
-void Stream::deliver(Bytes chunk) {
+void Stream::deliver(const Bytes& data, std::size_t offset, std::size_t len) {
   if (state_ == State::closed) return;
-  bytes_received_ += chunk.size();
+  bytes_received_ += len;
   // Delayed ACK: every second data segment, the receiver transmits a
   // payload-free acknowledgement frame. On a half-duplex medium this contends
   // with the sender's data — the effect that pulls real TCP on a 10 Mbps hub
@@ -78,7 +108,7 @@ void Stream::deliver(Bytes chunk) {
   if (++segments_received_ % 2 == 0) {
     net_.send_frame(segment_, local_.host, 0, []() {}, /*lossless=*/true);
   }
-  if (on_data_) on_data_(chunk);
+  if (on_data_) on_data_(std::span<const std::uint8_t>(data.data() + offset, len));
 }
 
 void Stream::close() {
@@ -90,7 +120,7 @@ void Stream::close() {
     return;
   }
   state_ = State::closing;
-  if (send_queue_.empty() && !pumping_) finish_close();
+  if (queued_bytes_ == 0 && !pumping_) finish_close();
 }
 
 void Stream::finish_close() {

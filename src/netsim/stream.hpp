@@ -43,7 +43,7 @@ class Stream : public std::enable_shared_from_this<Stream> {
   void on_drain(VoidHandler h) { on_drain_ = std::move(h); }
 
   /// Bytes accepted by send() but not yet serialized onto the medium.
-  std::size_t pending() const { return send_queue_.size(); }
+  std::size_t pending() const { return queued_bytes_; }
 
   /// Immediately release all handlers (teardown only — must not be called
   /// from within a handler).
@@ -52,6 +52,9 @@ class Stream : public std::enable_shared_from_this<Stream> {
   /// Queue bytes for transmission. Fails once closing/closed.
   [[nodiscard]] Result<void> send(Bytes payload);
   [[nodiscard]] Result<void> send(std::string_view payload);
+  /// Copy-free send: the stream references the shared buffer while framing;
+  /// frames that fall inside one buffer go onto the medium without any copy.
+  [[nodiscard]] Result<void> send(PayloadPtr payload);
 
   /// Flush pending bytes then close both directions; peer sees on_close.
   void close();
@@ -63,10 +66,17 @@ class Stream : public std::enable_shared_from_this<Stream> {
   friend class Network;
   enum class State { connecting, established, closing, closed };
 
+  /// One send() buffer awaiting transmission; offset marks how much of it has
+  /// already been framed onto the medium.
+  struct Chunk {
+    PayloadPtr data;
+    std::size_t offset = 0;
+  };
+
   void set_peer(StreamId peer) { peer_ = peer; }
   void establish();
   void pump();  ///< drain send queue into frames
-  void deliver(Bytes chunk);
+  void deliver(const Bytes& data, std::size_t offset, std::size_t len);
   void peer_closed();
   void finish_close();
   void fire_close_handlers();
@@ -79,7 +89,9 @@ class Stream : public std::enable_shared_from_this<Stream> {
   Endpoint remote_;
   SegmentId segment_;
   State state_ = State::connecting;
-  std::deque<std::uint8_t> send_queue_;
+  std::deque<Chunk> send_queue_;
+  /// Total unsent bytes across send_queue_ (chunk sizes minus offsets).
+  std::size_t queued_bytes_ = 0;
   bool pumping_ = false;
   bool close_after_drain_ = false;
   bool close_handlers_fired_ = false;

@@ -1,6 +1,6 @@
 #include "sim/scheduler.hpp"
 
-#include <algorithm>
+#include <utility>
 
 namespace umiddle::sim {
 
@@ -12,34 +12,62 @@ EventHandle Scheduler::schedule_after(Duration delay, std::function<void()> fn, 
 EventHandle Scheduler::schedule_at(TimePoint when, std::function<void()> fn, EventTag tag) {
   if (when < now_) when = now_;
   std::uint64_t seq = next_seq_++;
-  queue_.push(Event{when, seq, tag, std::move(fn)});
+  heap_push(Event{when, seq, tag, std::move(fn)});
   return EventHandle(seq);
 }
 
 void Scheduler::cancel(EventHandle handle) {
   if (!handle.valid()) return;
-  cancelled_set_.push_back(handle.seq_);
-  ++cancelled_;
+  if (cancelled_set_.insert(handle.seq_).second) ++cancelled_;
+}
+
+void Scheduler::heap_push(Event ev) {
+  heap_.push_back(std::move(ev));
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+Scheduler::Event Scheduler::heap_pop() {
+  Event top = std::move(heap_.front());
+  Event last = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift `last` down from the root, moving children up into the hole.
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && later(heap_[child], heap_[child + 1])) ++child;
+      if (!later(last, heap_[child])) break;
+      heap_[i] = std::move(heap_[child]);
+      i = child;
+    }
+    heap_[i] = std::move(last);
+  }
+  return top;
+}
+
+void Scheduler::reap_cancelled_front() {
+  while (!heap_.empty() && cancelled_ != 0) {
+    auto it = cancelled_set_.find(heap_.front().seq);
+    if (it == cancelled_set_.end()) return;
+    cancelled_set_.erase(it);
+    --cancelled_;
+    (void)heap_pop();
+  }
 }
 
 bool Scheduler::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    // priority_queue has no non-const top-move; the function object is copied out
-    // via const_cast-free path: take a copy of when/seq, move fn via const_cast is
-    // UB — instead copy. Events are small; copying the std::function is acceptable
-    // here and keeps the code simple and correct.
-    Event ev = queue_.top();
-    queue_.pop();
-    auto it = std::find(cancelled_set_.begin(), cancelled_set_.end(), ev.seq);
-    if (it != cancelled_set_.end()) {
-      cancelled_set_.erase(it);
-      --cancelled_;
-      continue;
-    }
-    out = std::move(ev);
-    return true;
-  }
-  return false;
+  reap_cancelled_front();
+  if (heap_.empty()) return false;
+  out = heap_pop();
+  return true;
 }
 
 void Scheduler::begin_dispatch(const Event& ev) {
@@ -67,15 +95,10 @@ std::size_t Scheduler::run() {
 
 std::size_t Scheduler::run_until(TimePoint deadline) {
   std::size_t n = 0;
-  while (!queue_.empty()) {
-    if (queue_.top().when > deadline) break;
-    Event ev;
-    if (!pop_next(ev)) break;
-    if (ev.when > deadline) {
-      // pop_next skipped cancelled entries and surfaced a later event; put it back.
-      queue_.push(std::move(ev));
-      break;
-    }
+  for (;;) {
+    reap_cancelled_front();
+    if (heap_.empty() || heap_.front().when > deadline) break;
+    Event ev = heap_pop();
     begin_dispatch(ev);
     ev.fn();
     ++n;

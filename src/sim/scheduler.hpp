@@ -16,7 +16,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/audit.hpp"
@@ -85,7 +85,7 @@ class Scheduler {
   /// Process at most one event. Returns false if the queue is empty.
   bool step();
 
-  std::size_t pending() const { return queue_.size() - cancelled_; }
+  std::size_t pending() const { return heap_.size() - cancelled_; }
 
   // --- determinism audit (sim/audit.hpp) -----------------------------------------
   /// Rolling digest of every event dispatched so far: (virtual time, sequence
@@ -104,20 +104,33 @@ class Scheduler {
     std::uint64_t seq;
     EventTag tag;
     std::function<void()> fn;
-
-    // min-heap by (when, seq)
-    friend bool operator>(const Event& a, const Event& b) {
-      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
-    }
   };
+
+  /// True if `a` must fire after `b`. (when, seq) pairs are unique, so this is
+  /// a strict total order — dispatch order cannot depend on heap layout.
+  static bool later(const Event& a, const Event& b) {
+    return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+  }
+
+  // Hand-rolled binary min-heap over heap_. std::priority_queue only exposes a
+  // const top(), which forces a copy of the std::function per pop; these sift
+  // by move. The vector doubles as the event pool: capacity is retained across
+  // pops, so steady-state scheduling performs no per-event allocation beyond
+  // what each std::function capture needs.
+  void heap_push(Event ev);
+  Event heap_pop();
+  /// Discard cancelled events sitting at the head of the heap (lazy deletion).
+  void reap_cancelled_front();
 
   bool pop_next(Event& out);
   /// Advance virtual time to the event's deadline and absorb it into the audit
   /// digest. Every dispatch path (run/run_until/step) funnels through here.
   void begin_dispatch(const Event& ev);
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::vector<std::uint64_t> cancelled_set_;
+  std::vector<Event> heap_;
+  /// Seqs cancelled while still queued; entries are reaped when they reach the
+  /// heap head. O(1) insert/lookup vs the seed's per-pop linear scan.
+  std::unordered_set<std::uint64_t> cancelled_set_;
   TimePoint now_{0};
   std::uint64_t next_seq_ = 1;
   std::size_t cancelled_ = 0;

@@ -68,11 +68,13 @@ class Parser {
            c == '.';
   }
 
-  Result<std::string> parse_name() {
+  // Returns a view into text_: end-tag names are only ever compared, so they
+  // never need to own their characters.
+  Result<std::string_view> parse_name() {
     if (eof() || !name_start(peek())) return fail("expected name");
     std::size_t start = pos_;
     while (!eof() && name_char(peek())) ++pos_;
-    return std::string(text_.substr(start, pos_ - start));
+    return text_.substr(start, pos_ - start);
   }
 
   Result<void> parse_attributes(Element& el) {
@@ -91,9 +93,9 @@ class Parser {
       ++pos_;
       std::size_t end = text_.find(quote, pos_);
       if (end == std::string_view::npos) return fail("unterminated attribute value");
-      auto value = unescape(text_.substr(pos_, end - pos_));
+      auto value = unescape_view(text_.substr(pos_, end - pos_), scratch_);
       if (!value.ok()) return value.error();
-      el.set_attr(std::move(name).take(), std::move(value).take());
+      el.set_attr(std::string(name.value()), std::string(value.value()));
       pos_ = end + 1;
     }
   }
@@ -103,7 +105,7 @@ class Parser {
     ++pos_;
     auto name = parse_name();
     if (!name.ok()) return name.error();
-    out.set_name(std::move(name).take());
+    out.set_name(std::string(name.value()));
     if (auto r = parse_attributes(out); !r.ok()) return r.error();
     if (looking_at("/>")) {
       pos_ += 2;
@@ -124,7 +126,8 @@ class Parser {
           auto name = parse_name();
           if (!name.ok()) return name.error();
           if (name.value() != el.name()) {
-            return fail("mismatched end tag </" + name.value() + "> for <" + el.name() + ">");
+            return fail("mismatched end tag </" + std::string(name.value()) + "> for <" +
+                        el.name() + ">");
           }
           skip_ws();
           if (eof() || peek() != '>') return fail("expected '>' in end tag");
@@ -155,7 +158,7 @@ class Parser {
       }
       std::size_t next = text_.find('<', pos_);
       if (next == std::string_view::npos) next = text_.size();
-      auto chunk = unescape(text_.substr(pos_, next - pos_));
+      auto chunk = unescape_view(text_.substr(pos_, next - pos_), scratch_);
       if (!chunk.ok()) return chunk.error();
       text += chunk.value();
       pos_ = next;
@@ -164,6 +167,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::string scratch_;  ///< reused by unescape_view for attribute/text decoding
 };
 
 }  // namespace

@@ -83,49 +83,78 @@ std::string Element::to_string(bool pretty, bool declaration) const {
 
 void Element::write(std::string& out, int indent, bool pretty) const {
   if (pretty) out.append(static_cast<std::size_t>(indent) * 2, ' ');
-  out += "<" + name_;
+  out += '<';
+  out += name_;
   for (const auto& [k, v] : attrs_) {
-    out += " " + k + "=\"" + escape(v) + "\"";
+    out += ' ';
+    out += k;
+    out += "=\"";
+    escape_to(out, v);
+    out += '"';
   }
   if (text_.empty() && children_.empty()) {
     out += "/>";
-    if (pretty) out += "\n";
+    if (pretty) out += '\n';
     return;
   }
-  out += ">";
-  out += escape(text_);
+  out += '>';
+  escape_to(out, text_);
   if (!children_.empty()) {
-    if (pretty) out += "\n";
+    if (pretty) out += '\n';
     for (const auto& c : children_) c.write(out, indent + 1, pretty);
     if (pretty) out.append(static_cast<std::size_t>(indent) * 2, ' ');
   }
-  out += "</" + name_ + ">";
-  if (pretty) out += "\n";
+  out += "</";
+  out += name_;
+  out += '>';
+  if (pretty) out += '\n';
 }
 
-std::string escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
+namespace {
+constexpr std::string_view kEscapable = "&<>\"'";
+}  // namespace
+
+bool needs_escape(std::string_view s) {
+  return s.find_first_of(kEscapable) != std::string_view::npos;
+}
+
+void escape_to(std::string& out, std::string_view s) {
+  // Bulk-append runs of plain characters; only the escapable ones go through
+  // the switch. The common case (no escapables at all) is one append.
+  std::size_t plain = s.find_first_of(kEscapable);
+  while (plain != std::string_view::npos) {
+    out.append(s.substr(0, plain));
+    switch (s[plain]) {
       case '&': out += "&amp;"; break;
       case '<': out += "&lt;"; break;
       case '>': out += "&gt;"; break;
       case '"': out += "&quot;"; break;
       case '\'': out += "&apos;"; break;
-      default: out.push_back(c);
     }
+    s.remove_prefix(plain + 1);
+    plain = s.find_first_of(kEscapable);
   }
+  out.append(s);
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  escape_to(out, s);
   return out;
 }
 
-Result<std::string> unescape(std::string_view s) {
-  std::string out;
+Result<std::string_view> unescape_view(std::string_view s, std::string& scratch) {
+  if (s.find('&') == std::string_view::npos) return s;
+  std::string& out = scratch;
+  out.clear();
   out.reserve(s.size());
   std::size_t i = 0;
   while (i < s.size()) {
     if (s[i] != '&') {
-      out.push_back(s[i++]);
+      std::size_t amp = s.find('&', i);
+      out.append(s.substr(i, amp - i));
+      i = amp;
       continue;
     }
     std::size_t semi = s.find(';', i);
@@ -182,7 +211,14 @@ Result<std::string> unescape(std::string_view s) {
     }
     i = semi + 1;
   }
-  return out;
+  return std::string_view(out);
+}
+
+Result<std::string> unescape(std::string_view s) {
+  std::string scratch;
+  auto view = unescape_view(s, scratch);
+  if (!view.ok()) return view.error();
+  return std::string(view.value());
 }
 
 }  // namespace umiddle::xml

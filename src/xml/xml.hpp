@@ -69,9 +69,19 @@ class Element {
   std::vector<Element> children_;
 };
 
+/// True if `s` contains a character escape() would rewrite.
+bool needs_escape(std::string_view s);
+/// Append the escaped form of `s` to `out`. When nothing needs escaping this
+/// is a single bulk append rather than a per-character copy.
+void escape_to(std::string& out, std::string_view s);
 /// Escape &<>"' for use in text or attribute values.
 std::string escape(std::string_view s);
 /// Resolve the five predefined entities plus decimal/hex character references.
+/// Returns `s` itself — no allocation — when it contains no '&'; otherwise
+/// decodes into `scratch` and returns a view of it. The view is invalidated
+/// by the next call reusing the same scratch buffer.
+[[nodiscard]] Result<std::string_view> unescape_view(std::string_view s, std::string& scratch);
+/// Owning convenience wrapper over unescape_view().
 [[nodiscard]] Result<std::string> unescape(std::string_view s);
 
 }  // namespace umiddle::xml

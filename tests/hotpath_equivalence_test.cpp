@@ -1,0 +1,320 @@
+// Equivalence oracles for the PR-2 hot-path rewrites.
+//
+// Two of the optimized paths keep their original implementations around as
+// references, and these tests drive both sides with the same randomized
+// workload:
+//
+//   1. Directory::lookup() (inverted shape index) must return exactly the same
+//      profiles, in the same order, as Directory::lookup_linear() (the
+//      retained unindexed scan) for arbitrary populations and queries.
+//   2. The lazy-deletion scheduler must dispatch the same events, at the same
+//      virtual times, with the same audit digest, as the seed's
+//      priority_queue + linear-scan-cancellation scheduler (reproduced here
+//      verbatim in miniature).
+//
+// Both workloads are seeded Rng-driven: failures replay exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rand.hpp"
+#include "core/umiddle.hpp"
+
+namespace umiddle {
+namespace {
+
+using sim::Duration;
+
+// --- 1. directory index vs linear oracle ---------------------------------------
+
+constexpr const char* kDigitalTypes[] = {
+    "image/jpeg", "image/png", "image/*", "audio/wav", "audio/mp3",
+    "audio/*",    "text/plain", "video/mp4", "*/*",
+};
+constexpr const char* kPhysicalTags[] = {
+    "visible/paper", "visible/*", "audible/sound", "tangible/touch",
+};
+constexpr const char* kPlatforms[] = {"upnp", "bluetooth", "rmi", "motes"};
+
+core::Shape random_shape(Rng& rng) {
+  core::Shape shape;
+  std::size_t n_ports = rng.between(1, 4);
+  for (std::size_t p = 0; p < n_ports; ++p) {
+    core::PortSpec spec;
+    spec.name = "p" + std::to_string(p);
+    spec.kind = rng.chance(0.8) ? core::PortKind::digital : core::PortKind::physical;
+    spec.direction = rng.chance(0.5) ? core::Direction::input : core::Direction::output;
+    spec.type = MimeType::of(spec.kind == core::PortKind::digital
+                                 ? kDigitalTypes[rng.below(std::size(kDigitalTypes))]
+                                 : kPhysicalTags[rng.below(std::size(kPhysicalTags))]);
+    EXPECT_TRUE(shape.add(std::move(spec)).ok());
+  }
+  return shape;
+}
+
+core::TranslatorProfile random_profile(std::uint64_t id, Rng& rng) {
+  core::TranslatorProfile profile;
+  profile.id = TranslatorId(id);
+  profile.name = "dev-" + std::to_string(id) + "-" + rng.ident(4);
+  profile.platform = kPlatforms[rng.below(std::size(kPlatforms))];
+  profile.device_type = "RandomDevice";
+  profile.node = NodeId(1);
+  profile.shape = random_shape(rng);
+  return profile;
+}
+
+/// A random constraint. Partial constraints (missing kind or direction) push
+/// lookup() onto its linear-fallback path; full ones exercise the index.
+core::PortQuery random_port_query(Rng& rng) {
+  core::PortQuery pq;
+  if (rng.chance(0.85)) pq.kind = rng.chance(0.8) ? core::PortKind::digital : core::PortKind::physical;
+  if (rng.chance(0.85)) pq.direction = rng.chance(0.5) ? core::Direction::input : core::Direction::output;
+  if (rng.chance(0.8)) {
+    pq.type = MimeType::of(pq.kind == core::PortKind::physical
+                               ? kPhysicalTags[rng.below(std::size(kPhysicalTags))]
+                               : kDigitalTypes[rng.below(std::size(kDigitalTypes))]);
+  }
+  return pq;
+}
+
+core::Query random_query(Rng& rng) {
+  core::Query q;
+  std::size_t n_req = rng.between(1, 2);
+  for (std::size_t i = 0; i < n_req; ++i) q.require(random_port_query(rng));
+  if (rng.chance(0.2)) q.platform(kPlatforms[rng.below(std::size(kPlatforms))]);
+  if (rng.chance(0.1)) q.name_contains("dev-1");
+  return q;
+}
+
+std::vector<std::uint64_t> ids_of(const std::vector<core::TranslatorProfile>& profiles) {
+  std::vector<std::uint64_t> out;
+  out.reserve(profiles.size());
+  for (const auto& p : profiles) out.push_back(p.id.value());
+  return out;
+}
+
+TEST(HotpathEquivalenceTest, IndexedLookupMatchesLinearOracle) {
+  sim::Scheduler sched;
+  net::Network net(sched, 1);
+  net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+  ASSERT_TRUE(net.add_host("a").ok());
+  ASSERT_TRUE(net.attach("a", lan).ok());
+  core::RuntimeConfig cfg;
+  cfg.node_id = 1;
+  core::Runtime runtime(sched, net, "a", cfg);
+  core::Directory& dir = runtime.directory();
+
+  Rng rng(20260807);
+  constexpr std::uint64_t kPopulation = 1200;
+  for (std::uint64_t id = 1; id <= kPopulation; ++id) {
+    dir.publish_local(random_profile(id, rng));
+  }
+  // Churn: withdrawals and shape-changing republishes must keep the index in
+  // sync with the profile map (the unindex-before-mutate invariant).
+  for (std::uint64_t i = 0; i < kPopulation / 10; ++i) {
+    dir.withdraw_local(TranslatorId(rng.between(1, kPopulation)));
+  }
+  for (std::uint64_t i = 0; i < kPopulation / 20; ++i) {
+    dir.publish_local(random_profile(rng.between(1, kPopulation), rng));
+  }
+
+  std::size_t non_empty = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    core::Query q = random_query(rng);
+    auto indexed = ids_of(dir.lookup(q));
+    auto linear = ids_of(dir.lookup_linear(q));
+    ASSERT_EQ(indexed, linear) << "divergence at trial " << trial;
+    if (!indexed.empty()) ++non_empty;
+    ASSERT_TRUE(std::is_sorted(indexed.begin(), indexed.end()));
+  }
+  // The workload must actually exercise hits, not just vacuous misses.
+  EXPECT_GT(non_empty, 50u);
+}
+
+// --- 2. lazy-deletion scheduler vs the seed scheduler ---------------------------
+
+/// The seed's scheduler algorithm, kept bit-for-bit as a behavioral oracle:
+/// std::priority_queue ordered by (when, seq), cancellation via a vector of
+/// seqs scanned linearly at every pop. Interface mirrors sim::Scheduler just
+/// enough for the shared driver below.
+class SeedScheduler {
+ public:
+  using Handle = std::uint64_t;
+
+  sim::TimePoint now() const { return now_; }
+
+  Handle schedule_after(Duration delay, std::function<void()> fn, sim::EventTag tag = {}) {
+    if (delay < Duration(0)) delay = Duration(0);
+    sim::TimePoint when = now_ + delay;
+    std::uint64_t seq = next_seq_++;
+    queue_.push(Ev{when, seq, tag, std::move(fn)});
+    return seq;
+  }
+
+  void cancel(Handle seq) {
+    if (seq == 0) return;
+    if (std::find(cancelled_.begin(), cancelled_.end(), seq) == cancelled_.end()) {
+      cancelled_.push_back(seq);
+    }
+  }
+
+  std::size_t run() {
+    std::size_t n = 0;
+    while (!queue_.empty()) {
+      if (skip_if_cancelled()) continue;
+      dispatch_top();
+      ++n;
+    }
+    return n;
+  }
+
+  std::size_t run_until(sim::TimePoint deadline) {
+    std::size_t n = 0;
+    while (!queue_.empty()) {
+      if (skip_if_cancelled()) continue;
+      if (queue_.top().when > deadline) break;
+      dispatch_top();
+      ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+  }
+
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  std::uint64_t trace_digest() const { return digest_.value(); }
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  struct Ev {
+    sim::TimePoint when;
+    std::uint64_t seq;
+    sim::EventTag tag;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  bool skip_if_cancelled() {
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), queue_.top().seq);
+    if (it == cancelled_.end()) return false;
+    cancelled_.erase(it);
+    queue_.pop();
+    return true;
+  }
+
+  void dispatch_top() {
+    Ev ev = queue_.top();  // const top(): the copy the optimized heap avoids
+    queue_.pop();
+    now_ = ev.when;
+    digest_.absorb(static_cast<std::uint64_t>(ev.when.count()));
+    digest_.absorb(ev.seq);
+    digest_.absorb(ev.tag.host);
+    digest_.absorb(ev.tag.tag);
+    ++dispatched_;
+    ev.fn();
+  }
+
+  std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;
+  sim::TimePoint now_{0};
+  std::uint64_t next_seq_ = 1;
+  sim::TraceDigest digest_;
+  std::uint64_t dispatched_ = 0;
+};
+
+struct DriverResult {
+  std::vector<std::pair<std::int64_t, std::uint64_t>> fired;  ///< (virtual ns, event id)
+  std::uint64_t digest = 0;
+  std::uint64_t dispatched = 0;
+  std::int64_t end_ns = 0;
+  std::uint64_t scheduled = 0;
+  std::uint64_t cancels = 0;
+};
+
+/// Deterministic stress workload run identically against both schedulers:
+/// bursts of schedule/cancel pairs (many at equal timestamps), callbacks that
+/// re-schedule chains and cancel other handles mid-dispatch, double-cancels,
+/// cancels of already-fired events, and partial run_for() advances.
+template <typename S>
+DriverResult run_driver(S& sched) {
+  using Handle = decltype(sched.schedule_after(Duration(0), std::function<void()>{},
+                                               sim::EventTag{}));
+  DriverResult result;
+  Rng rng(424242);
+  std::vector<Handle> handles;
+  std::uint64_t next_id = 0;
+
+  std::function<void(int)> spawn = [&](int depth) {
+    std::uint64_t id = next_id++;
+    // Coarse delay buckets force plenty of exact timestamp ties.
+    Duration delay = Duration(static_cast<std::int64_t>(rng.below(40)) * 250);
+    Handle h = sched.schedule_after(
+        delay,
+        [&, id, depth] {
+          result.fired.emplace_back(sched.now().count(), id);
+          if (depth < 3 && rng.chance(0.30)) spawn(depth + 1);
+          if (!handles.empty() && rng.chance(0.15)) {
+            sched.cancel(handles[rng.below(handles.size())]);
+            ++result.cancels;
+          }
+        },
+        sim::EventTag{id % 7, id % 13});
+    handles.push_back(h);
+    ++result.scheduled;
+  };
+
+  for (int i = 0; i < 8000; ++i) {
+    spawn(0);
+    if (rng.chance(0.35)) {
+      Handle victim = handles[rng.below(handles.size())];
+      sched.cancel(victim);
+      ++result.cancels;
+      if (rng.chance(0.2)) sched.cancel(victim);  // double-cancel is a no-op
+    }
+    if (i % 500 == 499) {
+      sched.run_for(Duration(static_cast<std::int64_t>(rng.below(3000))));
+    }
+  }
+  sched.run();
+
+  result.digest = sched.trace_digest();
+  result.dispatched = sched.events_dispatched();
+  result.end_ns = sched.now().count();
+  return result;
+}
+
+TEST(HotpathEquivalenceTest, SchedulerStressMatchesSeedImplementation) {
+  SeedScheduler reference;
+  DriverResult expected = run_driver(reference);
+
+  sim::Scheduler optimized;
+  DriverResult actual = run_driver(optimized);
+
+  // The workload itself must be substantial: ~10k schedule/cancel pairs.
+  ASSERT_GE(expected.scheduled, 10000u);
+  ASSERT_GE(expected.cancels, 2000u);
+  ASSERT_GT(expected.fired.size(), 8000u);
+
+  EXPECT_EQ(actual.scheduled, expected.scheduled);
+  EXPECT_EQ(actual.cancels, expected.cancels);
+  EXPECT_EQ(actual.dispatched, expected.dispatched);
+  EXPECT_EQ(actual.end_ns, expected.end_ns);
+  EXPECT_EQ(actual.digest, expected.digest);
+  ASSERT_EQ(actual.fired.size(), expected.fired.size());
+  for (std::size_t i = 0; i < expected.fired.size(); ++i) {
+    ASSERT_EQ(actual.fired[i], expected.fired[i]) << "first divergence at dispatch " << i;
+  }
+}
+
+}  // namespace
+}  // namespace umiddle

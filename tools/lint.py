@@ -25,6 +25,11 @@ exist to keep nondeterminism from leaking back in:
                must be [[nodiscard]] (belt and braces on top of the
                class-level [[nodiscard]]: the annotation survives even if the
                class attribute is ever lost, and documents intent at the API).
+  range-copy   no by-value `for (auto x : ...)` range-for loops in src/: an
+               `auto` loop variable deep-copies every element (profiles,
+               frames, std::function events), which is exactly the class of
+               hidden copy PR 2 removed from the hot paths. Iterate by
+               `const auto&` (or `auto&` / `auto&&` when mutating).
 
 Run directly:      python3 tools/lint.py --root .
 Run via ctest:     ctest -R lint
@@ -122,6 +127,15 @@ NEW_DELETE_ALLOW_RE = re.compile(r"=\s*delete\b")  # deleted special members
 RESULT_DECL_RE = re.compile(r"^\s*(?:virtual\s+)?Result<[^;{}]*>\s+\w+\s*\(")
 NODISCARD_RE = re.compile(r"\[\[nodiscard\]\]")
 
+# A range-for whose loop variable is a plain (possibly const) `auto` — i.e. a
+# deep copy per element. By-reference forms (`auto&`, `const auto&`, `auto&&`)
+# and pointers (`auto*`) never match because `auto` is then not followed by
+# whitespace-then-identifier. Classic `for (auto it = ...; ...)` loops are
+# excluded: the match must reach a standalone `:` (not `::`) before any `;`
+# or parenthesis.
+RANGE_FOR_COPY_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?auto\s+(?![&*])[A-Za-z_\[][^;()]*?(?<!:):(?!:)")
+
 
 def scan_tokens(path: str, code: str, patterns, rule: str) -> Iterable[Violation]:
     for lineno, line in enumerate(code.splitlines(), 1):
@@ -182,6 +196,15 @@ def check_nodiscard(path: str, code: str) -> Iterable[Violation]:
                         "Result-returning declaration without [[nodiscard]]")
 
 
+def check_range_for_copy(path: str, code: str) -> Iterable[Violation]:
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if RANGE_FOR_COPY_RE.search(line):
+            yield Violation("range-copy", path, lineno,
+                            "by-value `for (auto x : ...)` deep-copies every "
+                            "element; iterate by `const auto&` (or `auto&` / "
+                            "`auto&&` when mutating)")
+
+
 CHECKS: list[Callable[[str, str], Iterable[Violation]]] = [
     check_wall_clock,
     check_randomness,
@@ -189,6 +212,7 @@ CHECKS: list[Callable[[str, str], Iterable[Violation]]] = [
     check_pointer_keys,
     check_new_delete,
     check_nodiscard,
+    check_range_for_copy,
 ]
 
 
@@ -231,6 +255,10 @@ SEEDED_VIOLATIONS = [
      "auto* p = new Translator();\ndelete p;\n"),
     ("nodiscard", "src/xml/evil.hpp",
      "Result<Element> parse_evil(std::string_view text);\n"),
+    ("range-copy", "src/core/evil.cpp",
+     "for (auto profile : profiles_) { use(profile); }\n"),
+    ("range-copy", "src/core/evil.cpp",
+     "for (const auto [k, v] : meta_) { use(k, v); }\n"),
 ]
 
 CLEAN_SNIPPETS = [
@@ -246,6 +274,14 @@ CLEAN_SNIPPETS = [
      "sim::Duration busy_time(int frames);\n"),
     ("src/common/log.cpp",
      "#include <mutex>\n"),
+    ("src/core/fine.cpp",
+     "for (const auto& p : profiles_) { use(p); }\n"
+     "for (auto& [k, v] : meta_) { use(k, v); }\n"
+     "for (auto&& ev : events_) { use(ev); }\n"
+     "for (auto* port : shape.digital_inputs()) { use(port); }\n"
+     "for (auto it = by_name_.begin(); it != by_name_.end(); ++it) { }\n"
+     "for (auto ib = std::next(ia); ib != gadgets_.end(); ++ib) { }\n"
+     "for (char c : text) { use(c); }\n"),
 ]
 
 
