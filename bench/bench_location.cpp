@@ -18,6 +18,7 @@
 #include "bluetooth/bip.hpp"
 #include "bluetooth/mapper.hpp"
 #include "core/umiddle.hpp"
+#include "obs_util.hpp"
 #include "upnp/devices.hpp"
 #include "upnp/mapper.hpp"
 
@@ -156,6 +157,7 @@ double cross_transport_latency_ms() {
     world.sched.step();
   }
   if (tv.rendered().empty()) return -1;
+  benchobs::record("cross_transport", world.net);
   return sim::to_millis(world.sched.now() - sent);
 }
 
@@ -203,6 +205,7 @@ void BM_Latency(benchmark::State& state, int which) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  umiddle::benchobs::strip_metrics_flag(argc, argv);
   print_table();
   benchmark::RegisterBenchmark("AblationE/at_the_edge",
                                [](benchmark::State& s) { BM_Latency(s, 0); })
@@ -216,5 +219,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  umiddle::benchobs::write_recorded();
   return 0;
 }

@@ -20,6 +20,7 @@
 
 #include "common/rand.hpp"
 #include "core/umiddle.hpp"
+#include "obs_util.hpp"
 
 namespace {
 
@@ -190,6 +191,7 @@ void BM_DirectoryLookup(benchmark::State& state) {
     benchmark::DoNotOptimize(hits);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  benchobs::record("directory_lookup_n" + std::to_string(state.range(0)), world.net);
 }
 
 // Capability miss: the application probes for a media type nobody provides
@@ -229,9 +231,11 @@ BENCHMARK(BM_DirectoryLookupLinear)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 }  // namespace
 
 int main(int argc, char** argv) {
+  umiddle::benchobs::strip_metrics_flag(argc, argv);
   print_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  umiddle::benchobs::write_recorded();
   return 0;
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/umiddle.hpp"
+#include "obs_util.hpp"
 
 namespace {
 
@@ -135,6 +136,7 @@ Outcome run(const core::QosPolicy& policy, sim::Duration sink_service_time, int 
   out.dropped = stats->messages_dropped;
   out.max_buffered = stats->max_buffered_bytes;
   out.peak_rate_mbps = sink_raw->peak_rate_bps(sim::milliseconds(100)) / 1e6;
+  benchobs::record("qos_last_run", net);
   return out;
 }
 
@@ -221,6 +223,7 @@ void BM_Bursty(benchmark::State& state, bool shaped) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  umiddle::benchobs::strip_metrics_flag(argc, argv);
   print_tables();
   benchmark::RegisterBenchmark("AblationC/overload/none",
                                [](benchmark::State& s) { BM_Overload(s, false); })
@@ -237,5 +240,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  umiddle::benchobs::write_recorded();
   return 0;
 }

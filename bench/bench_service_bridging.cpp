@@ -21,6 +21,7 @@
 #include "bluetooth/hidp.hpp"
 #include "bluetooth/mapper.hpp"
 #include "core/umiddle.hpp"
+#include "obs_util.hpp"
 #include "upnp/devices.hpp"
 #include "upnp/mapper.hpp"
 
@@ -64,6 +65,7 @@ double measure_upnp(const std::string& kind) {
   (void)device->start();  // multicasts ssdp:alive immediately
   sched.run_for(sim::seconds(10));
   runtime.directory().remove_directory_listener(&listener);
+  benchobs::record("upnp_" + kind, net);
   return mapped_at.count() < 0 ? -1.0 : sim::to_seconds(mapped_at - announced);
 }
 
@@ -97,6 +99,7 @@ double measure_bluetooth(const std::string& kind) {
   (void)device->power_on();  // the mapper reacts post-discovery (Fig. 10 semantics)
   sched.run_for(sim::seconds(10));
   runtime.directory().remove_directory_listener(&listener);
+  benchobs::record("bt_" + kind, net);
   return mapped_at.count() < 0 ? -1.0 : sim::to_seconds(mapped_at - announced);
 }
 
@@ -148,6 +151,7 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  umiddle::benchobs::strip_metrics_flag(argc, argv);
   print_table();
   for (const Row& row : kRows) {
     benchmark::RegisterBenchmark((std::string("Fig10/") + row.kind).c_str(),
@@ -161,5 +165,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  umiddle::benchobs::write_recorded();
   return 0;
 }

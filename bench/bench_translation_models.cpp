@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "core/umiddle.hpp"
+#include "obs_util.hpp"
 
 namespace {
 
@@ -63,6 +64,7 @@ double standup_time(std::size_t count, std::size_t ports) {
   // directory re-announces periodically forever).
   while (done < count && sched.pending() > 0) sched.step();
   if (done != count) return -1;
+  benchobs::record("standup_n" + std::to_string(count), net);
   return sim::to_seconds(sched.now() - t0);
 }
 
@@ -95,6 +97,7 @@ void BM_Standup(benchmark::State& state, bool direct) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  umiddle::benchobs::strip_metrics_flag(argc, argv);
   print_table();
   for (int n : {4, 16, 64}) {
     benchmark::RegisterBenchmark(
@@ -109,5 +112,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  umiddle::benchobs::write_recorded();
   return 0;
 }

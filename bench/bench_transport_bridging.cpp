@@ -26,6 +26,7 @@
 
 #include "core/umiddle.hpp"
 #include "mediabroker/mapper.hpp"
+#include "obs_util.hpp"
 #include "rmi/mapper.hpp"
 
 namespace {
@@ -170,6 +171,7 @@ double mb_test(bool half_duplex) {
       w.sched.now() + sim::Duration(static_cast<std::int64_t>(kWindowS * 1e9));
   run_rate_sender(w, t_end, kSendInterval,
                   [&]() { (void)producer.send("bench", Bytes(kMessage)); });
+  benchobs::record(half_duplex ? "mb_echo_half_duplex" : "mb_echo_full_duplex", w.net);
   return static_cast<double>(consumer.bytes_received() - start) * 8.0 / kWindowS / 1e6;
 }
 
@@ -267,6 +269,7 @@ void BM_Transport(benchmark::State& state, double (*fn)(bool)) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  umiddle::benchobs::strip_metrics_flag(argc, argv);
   print_table();
   for (const TestRow& t : kTests) {
     benchmark::RegisterBenchmark((std::string("Fig11/") + t.label).c_str(),
@@ -280,5 +283,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  umiddle::benchobs::write_recorded();
   return 0;
 }

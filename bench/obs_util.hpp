@@ -1,0 +1,74 @@
+// Shared --metrics-json plumbing for the bench mains.
+//
+// Bench worlds are built and torn down inside the scenario functions, so a
+// world cannot be snapshotted from main() after the fact. Instead scenarios
+// call record(name, net) right before their world dies; main() strips the
+// flag before benchmark::Initialize sees it and writes every recorded world
+// into one JSON document: {"worlds":{"<scenario>":<obs::world_json>,...}}.
+//
+// tools/bench.py passes --metrics-json and folds the counters/span aggregates
+// into its consolidated results file.
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "netsim/network.hpp"
+#include "obs/export.hpp"
+
+namespace umiddle::benchobs {
+
+/// Destination of --metrics-json=PATH; empty when the flag was not given.
+/// (CLI plumbing, not telemetry state: world metrics stay on net::Network.)
+inline std::string& metrics_path() {
+  static std::string path;
+  return path;
+}
+
+inline std::map<std::string, std::string>& recorded() {
+  static std::map<std::string, std::string> worlds;
+  return worlds;
+}
+
+/// Snapshot a world's metrics + span aggregates under a scenario name.
+/// No-op (and near-free) unless --metrics-json was given.
+inline void record(std::string_view scenario, net::Network& net) {
+  if (metrics_path().empty()) return;
+  recorded()[std::string(scenario)] = obs::world_json(net.metrics(), net.tracer());
+}
+
+/// Write all recorded worlds to the --metrics-json path. Safe to call when the
+/// flag is absent (does nothing) or when no scenario recorded (writes an empty
+/// "worlds" object so callers always get valid JSON).
+inline void write_recorded() {
+  if (metrics_path().empty()) return;
+  std::ofstream out(metrics_path());
+  out << "{\"worlds\":{";
+  bool first = true;
+  for (const auto& [name, json] : recorded()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << json;
+  }
+  out << "}}\n";
+}
+
+/// Remove --metrics-json=PATH from argv (google-benchmark rejects flags it
+/// does not know) and stash the path for record()/write_recorded().
+inline void strip_metrics_flag(int& argc, char** argv) {
+  constexpr std::string_view kFlag = "--metrics-json=";
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      metrics_path() = std::string(arg.substr(kFlag.size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+}
+
+}  // namespace umiddle::benchobs

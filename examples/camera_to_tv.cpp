@@ -11,19 +11,32 @@
 // *every* image renderer via a dynamic query path; pressing the camera's
 // shutter pushes the photo over OBEX into its translator, across UMTP to H2,
 // and out through SOAP onto the TV.
+#include <fstream>
 #include <iostream>
+#include <string_view>
 
 #include "bluetooth/bip.hpp"
 #include "bluetooth/mapper.hpp"
 #include "common/log.hpp"
 #include "core/umiddle.hpp"
+#include "obs/export.hpp"
 #include "upnp/devices.hpp"
 #include "upnp/mapper.hpp"
 
 using namespace umiddle;
 
-int main() {
+int main(int argc, char** argv) {
   umiddle::log::enable_stderr(umiddle::log::Level::warn);
+
+  // --trace-out=PATH   Chrome trace_event JSON (open in chrome://tracing or
+  //                    https://ui.perfetto.dev) of every message-path span.
+  // --metrics-out=PATH world metrics + span aggregates as JSON.
+  std::string trace_out, metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--trace-out=", 0) == 0) trace_out = arg.substr(12);
+    if (arg.rfind("--metrics-out=", 0) == 0) metrics_out = arg.substr(14);
+  }
 
   sim::Scheduler sched;
   net::Network net(sched);
@@ -97,6 +110,18 @@ int main() {
   if (stats != nullptr) {
     std::cout << "Path forwarded " << stats->messages_forwarded << " messages, "
               << stats->bytes_forwarded << " bytes\n";
+  }
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    out << obs::chrome_trace_json(net.tracer()) << "\n";
+    std::cout << "Wrote Chrome trace (" << net.tracer().spans().size() << " spans) to "
+              << trace_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    out << obs::world_json(net.metrics(), net.tracer()) << "\n";
+    std::cout << "Wrote metrics snapshot to " << metrics_out << "\n";
   }
   return tv.rendered().size() == 3 ? 0 : 1;
 }

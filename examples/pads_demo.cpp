@@ -12,6 +12,7 @@
 #include "bluetooth/hidp.hpp"
 #include "bluetooth/mapper.hpp"
 #include "common/log.hpp"
+#include "obs/export.hpp"
 #include "core/umiddle.hpp"
 #include "motes/mapper.hpp"
 #include "upnp/devices.hpp"
@@ -132,6 +133,8 @@ int main() {
   bool ok = event_log_raw->count() >= 3 && data_store_raw->count() >= 2 &&
             time_display_raw->count() >= 1 && photo_album_raw->count() == 1 &&
             tv.rendered().size() == 1;
+  // End-of-run telemetry: the world's metrics registry as a text snapshot.
+  std::cout << "\n--- metrics ---\n" << obs::to_text(net.metrics().snapshot());
   std::cout << (ok ? "PADS DEMO OK" : "PADS DEMO INCOMPLETE") << "\n";
   return ok ? 0 : 1;
 }

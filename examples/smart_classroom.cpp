@@ -19,6 +19,7 @@
 #include "bluetooth/bip.hpp"
 #include "bluetooth/mapper.hpp"
 #include "common/log.hpp"
+#include "obs/export.hpp"
 #include "core/umiddle.hpp"
 #include "motes/mapper.hpp"
 #include "rmi/mapper.hpp"
@@ -181,6 +182,8 @@ int main() {
 
   bool ok = aircon.mode() == "Cool" && board_raw->count() >= 1 &&
             projector.rendered().size() == 2 && attendance.received() >= 3 && after == 0;
+  // End-of-run telemetry: the world's metrics registry as a text snapshot.
+  std::cout << "\n--- metrics ---\n" << obs::to_text(net.metrics().snapshot());
   std::cout << (ok ? "SMART CLASSROOM OK" : "SMART CLASSROOM INCOMPLETE") << "\n";
   return ok ? 0 : 1;
 }

@@ -14,7 +14,16 @@ BtTranslator::BtTranslator(BtMapper& mapper, BtDeviceInfo device, SdpRecord reco
   set_hierarchy_entities(usdl.hierarchy_entities);
 }
 
-BtTranslator::~BtTranslator() { *alive_ = false; }
+BtTranslator::~BtTranslator() {
+  *alive_ = false;
+  // Close any spans still open for in-flight native operations: the tracer
+  // (world state) outlives this translator, and an unmap mid-transfer must
+  // not leave the trace unbalanced.
+  obs::Tracer& tracer = mapper_.runtime().network().tracer();
+  const sim::TimePoint now = mapper_.runtime().scheduler().now();
+  tracer.end_span(native_span_, now);
+  for (std::uint64_t span : sink_spans_) tracer.end_span(span, now);
+}
 
 bool BtTranslator::ready(const std::string&) const { return !busy_; }
 
@@ -56,12 +65,18 @@ void BtTranslator::emit_object(const std::string& port, const obex::Object& obje
 }
 
 void BtTranslator::finish_operation() {
+  mapper_.runtime().network().tracer().end_span(native_span_,
+                                                mapper_.runtime().scheduler().now());
+  native_span_ = 0;
   busy_ = false;
   if (mapped()) runtime()->notify_ready(profile().id);
 }
 
 void BtTranslator::run_obex_get(const core::UsdlBinding& binding) {
   busy_ = true;
+  mapper_.runtime().network().metrics().counter("bt.obex_gets").inc();
+  native_span_ = mapper_.runtime().network().tracer().begin_span(
+      0, "native.bt", mapper_.runtime().host(), mapper_.runtime().scheduler().now());
   auto stream = mapper_.medium().l2cap_connect(mapper_.adapter().host(), device_.address,
                                                record_.psm);
   if (!stream.ok()) {
@@ -85,6 +100,9 @@ void BtTranslator::run_obex_get(const core::UsdlBinding& binding) {
 
 void BtTranslator::run_obex_put(const core::UsdlBinding& binding, const core::Message& msg) {
   busy_ = true;
+  mapper_.runtime().network().metrics().counter("bt.obex_puts").inc();
+  native_span_ = mapper_.runtime().network().tracer().begin_span(
+      msg.trace, "native.bt", mapper_.runtime().host(), mapper_.runtime().scheduler().now());
   auto stream = mapper_.medium().l2cap_connect(mapper_.adapter().host(), device_.address,
                                                record_.psm);
   if (!stream.ok()) {
@@ -112,11 +130,20 @@ void BtTranslator::setup_push_sink(const core::UsdlBinding& binding) {
   sink_server_ = std::make_unique<obex::Server>(
       [this, alive = alive_, port](const obex::Object& object) {
         if (!*alive) return;
+        if (!sink_spans_.empty()) {
+          mapper_.runtime().network().tracer().end_span(sink_spans_.front(),
+                                                        mapper_.runtime().scheduler().now());
+          sink_spans_.pop_front();
+        }
         emit_object(port, object);
       },
       nullptr);
   auto listen = mapper_.adapter().listen_psm(
-      sink_psm_, [this](net::StreamPtr stream) { sink_server_->attach(std::move(stream)); });
+      sink_psm_, [this](net::StreamPtr stream) {
+        sink_spans_.push_back(mapper_.runtime().network().tracer().begin_span(
+            0, "native.bt", mapper_.runtime().host(), mapper_.runtime().scheduler().now()));
+        sink_server_->attach(std::move(stream));
+      });
   if (!listen.ok()) {
     log::Entry(log::Level::warn, "bt") << "sink listen failed: " << listen.error().to_string();
     return;
@@ -167,10 +194,21 @@ void BtTranslator::handle_hid_bytes(const std::string& port,
     hid_buffer_.erase(hid_buffer_.begin(), hid_buffer_.begin() + 5);
     if (!report.ok()) continue;  // skip malformed transaction byte-by-byte? whole frame dropped
     // Translate the HID report into a VML document (§5.2), charging the
-    // 2006-stack translation cost in virtual time.
+    // 2006-stack translation cost in virtual time. The trace starts here (HID
+    // ingress) so the VML span and the downstream path share one id.
     MouseReport r = report.value();
+    mapper_.runtime().network().metrics().counter("bt.hid_reports").inc();
+    obs::Tracer* tracer = &mapper_.runtime().network().tracer();
+    const std::uint64_t trace = tracer->new_trace();
+    const std::uint64_t span = tracer->begin_span(trace, "translate.vml", mapper_.runtime().host(),
+                                                  mapper_.runtime().scheduler().now());
+    sim::Scheduler* sched = &mapper_.runtime().scheduler();
     mapper_.runtime().scheduler().schedule_after(
-        mapper_.costs().vml_translate, [this, alive = alive_, port, r]() {
+        mapper_.costs().vml_translate,
+        [this, alive = alive_, port, r, tracer, sched, trace, span]() {
+          // tracer/sched outlive the translator (world-owned): close the span
+          // even if the translator was unmapped while the translation ran.
+          tracer->end_span(span, sched->now());
           if (!*alive || !mapped()) return;
           xml::Element vml("vml");
           vml.set_attr("xmlns", "urn:schemas-microsoft-com:vml");
@@ -182,7 +220,9 @@ void BtTranslator::handle_hid_bytes(const std::string& port,
           const core::PortSpec* spec = profile().shape.find(port);
           if (spec == nullptr) return;
           ++events_emitted_;
-          (void)emit(port, core::Message::text(spec->type, vml.to_string()));
+          core::Message msg = core::Message::text(spec->type, vml.to_string());
+          msg.trace = trace;
+          (void)emit(port, std::move(msg));
         });
   }
 }
@@ -223,9 +263,15 @@ void BtMapper::handle_device(const BtDeviceInfo& info) {
   if (by_address_.count(info.address) != 0) return;
 
   // Service-level bridging: SDP query, match records against USDL, import.
+  // Discovery span: device seen on the piconet → translator advertised.
+  obs::Tracer& tracer = runtime_->network().tracer();
+  const std::uint64_t span = tracer.begin_span(tracer.new_trace(), "discovery",
+                                               runtime_->host(), runtime_->scheduler().now());
+  runtime_->network().metrics().counter("bt.sdp_queries").inc();
   sdp_query(medium_, adapter_->host(), info.address, "*",
-            [this, info](Result<std::vector<SdpRecord>> records) {
+            [this, info, span](Result<std::vector<SdpRecord>> records) {
               if (!records.ok()) {
+                runtime_->network().tracer().end_span(span, runtime_->scheduler().now());
                 log::Entry(log::Level::warn, "bt")
                     << "SDP query failed for " << info.name << ": "
                     << records.error().to_string();
@@ -239,16 +285,19 @@ void BtMapper::handle_device(const BtDeviceInfo& info) {
                     std::make_unique<BtTranslator>(*this, info, record, *usdl);
                 BtAddress address = info.address;
                 runtime_->instantiate(
-                    std::move(translator), [this, address](Result<TranslatorId> r) {
+                    std::move(translator), [this, address, span](Result<TranslatorId> r) {
+                      runtime_->network().tracer().end_span(span, runtime_->scheduler().now());
                       if (!r.ok()) {
                         log::Entry(log::Level::warn, "bt")
                             << "instantiate failed: " << r.error().to_string();
                         return;
                       }
+                      runtime_->network().metrics().counter("bt.devices_mapped").inc();
                       by_address_[address] = r.value();
                     });
                 return;  // one translator per device
               }
+              runtime_->network().tracer().end_span(span, runtime_->scheduler().now());
               log::Entry(log::Level::info, "bt")
                   << "no USDL match for " << info.name << "; not bridged";
             });

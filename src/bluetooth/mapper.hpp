@@ -17,6 +17,7 @@
 //       and emitted from the binding's port.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 
@@ -71,8 +72,15 @@ class BtTranslator final : public core::Translator {
   SdpRecord record_;
   const core::UsdlService& usdl_;
   bool busy_ = false;
+  /// Open "native.bt" span for the in-flight OBEX operation (obs tracing);
+  /// closed by finish_operation on every completion/failure path.
+  std::uint64_t native_span_ = 0;
   std::uint16_t sink_psm_ = 0;
   std::unique_ptr<obex::Server> sink_server_;
+  /// Open "native.bt" spans for inbound pushes, one per accepted sink
+  /// connection, FIFO: OBEX clients are one-connection-per-operation, so the
+  /// oldest open connection is the one whose object completes first.
+  std::deque<std::uint64_t> sink_spans_;
   net::StreamPtr hid_channel_;
   Bytes hid_buffer_;
   std::uint64_t events_emitted_ = 0;

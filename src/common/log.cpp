@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <iostream>
 #include <mutex>
 
@@ -10,6 +11,9 @@ struct State {
   std::mutex mu;
   Sink sink;
   Level level = Level::off;
+  /// Threshold mirrored for the lock-free enabled() fast path: the configured
+  /// level, or off while no sink is installed. Updated under mu.
+  std::atomic<Level> effective{Level::off};
 };
 
 State& state() {
@@ -17,21 +21,32 @@ State& state() {
   return s;
 }
 
+void refresh_effective_locked(State& s) {
+  s.effective.store(s.sink ? s.level : Level::off, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 void set_sink(Sink sink) {
   std::lock_guard lock(state().mu);
   state().sink = std::move(sink);
+  refresh_effective_locked(state());
 }
 
 void set_level(Level level) {
   std::lock_guard lock(state().mu);
   state().level = level;
+  refresh_effective_locked(state());
 }
 
 Level level() {
   std::lock_guard lock(state().mu);
   return state().level;
+}
+
+bool enabled(Level level) {
+  const Level threshold = state().effective.load(std::memory_order_relaxed);
+  return level >= threshold && threshold != Level::off;
 }
 
 void write(Level level, std::string_view component, std::string_view message) {

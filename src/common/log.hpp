@@ -3,6 +3,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -30,26 +31,40 @@ void set_sink(Sink sink);
 void set_level(Level level);
 Level level();
 
+/// True iff a statement at `level` would reach the sink. Lock-free fast path
+/// (single relaxed atomic load) so hot loops can log unconditionally and pay
+/// nothing when logging is off or below threshold.
+bool enabled(Level level);
+
 void write(Level level, std::string_view component, std::string_view message);
 
 /// Stream-style one-shot log statement: Entry(Level::info, "upnp") << "found " << n;
+///
+/// When the level is disabled (or no sink is installed) the ostringstream is
+/// never constructed and operator<< never formats — the whole statement costs
+/// one atomic load. The component must outlive the statement (string literals
+/// in practice), hence string_view.
 class Entry {
  public:
-  Entry(Level level, std::string_view component) : level_(level), component_(component) {}
+  Entry(Level level, std::string_view component) : level_(level), component_(component) {
+    if (enabled(level)) stream_.emplace();
+  }
   Entry(const Entry&) = delete;
   Entry& operator=(const Entry&) = delete;
-  ~Entry() { write(level_, component_, stream_.str()); }
+  ~Entry() {
+    if (stream_) write(level_, component_, std::move(*stream_).str());
+  }
 
   template <typename T>
   Entry& operator<<(const T& v) {
-    stream_ << v;
+    if (stream_) *stream_ << v;
     return *this;
   }
 
  private:
   Level level_;
-  std::string component_;
-  std::ostringstream stream_;
+  std::string_view component_;
+  std::optional<std::ostringstream> stream_;
 };
 
 /// Install a sink that writes "LEVEL [component] message" lines to stderr.

@@ -9,7 +9,16 @@
 
 namespace umiddle::core {
 
-Directory::Directory(Runtime& runtime) : runtime_(runtime) {}
+Directory::Directory(Runtime& runtime)
+    : runtime_(runtime),
+      lookups_(runtime.network().metrics().counter("dir.lookups")),
+      linear_scans_(runtime.network().metrics().counter("dir.linear_scans")),
+      index_candidates_(runtime.network().metrics().counter("dir.index_candidates")),
+      announce_cache_hits_(runtime.network().metrics().counter("dir.announce_cache_hits")),
+      announce_cache_misses_(runtime.network().metrics().counter("dir.announce_cache_misses")),
+      adverts_tx_(runtime.network().metrics().counter("dir.adverts_tx")),
+      adverts_rx_(runtime.network().metrics().counter("dir.adverts_rx")),
+      expired_(runtime.network().metrics().counter("dir.expired")) {}
 
 // Note: alive_ guards the refresh timer; the Runtime owns and outlives the
 // Directory, but scheduled ticks can outlive stop()/destruction in tests.
@@ -28,6 +37,7 @@ void Directory::multicast(const xml::Element& advert) {
 }
 
 void Directory::multicast_payload(const PayloadPtr& payload) {
+  adverts_tx_.inc();
   net::Endpoint from{runtime_.host(), runtime_.config().directory_port};
   auto r = runtime_.network().udp_multicast(from, runtime_.config().group,
                                             runtime_.config().directory_port, payload);
@@ -93,6 +103,7 @@ void Directory::refresh_tick() {
     }
   }
   for (const TranslatorProfile& profile : expired) {
+    expired_.inc();
     unindex_profile(profile);
     announce_cache_.erase(profile.id);
     profiles_.erase(profile.id);
@@ -124,6 +135,7 @@ void Directory::stop() {
 }
 
 std::vector<TranslatorProfile> Directory::lookup(const Query& query) const {
+  lookups_.inc();
   // Pick an indexable requirement: one naming both kind and direction,
   // preferring one with a concrete MIME major type (the smallest buckets).
   // Candidates drawn from that requirement's buckets are a superset of every
@@ -179,6 +191,7 @@ std::vector<TranslatorProfile> Directory::lookup(const Query& query) const {
     candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
   }
 
+  index_candidates_.inc(candidates.size());
   std::vector<TranslatorProfile> out;
   out.reserve(candidates.size());
   for (TranslatorId id : candidates) {
@@ -189,6 +202,7 @@ std::vector<TranslatorProfile> Directory::lookup(const Query& query) const {
 }
 
 std::vector<TranslatorProfile> Directory::lookup_linear(const Query& query) const {
+  linear_scans_.inc();
   std::vector<TranslatorProfile> out;
   for (const auto& [id, profile] : profiles_) {
     if (matches(query, profile)) out.push_back(profile);
@@ -246,9 +260,12 @@ void Directory::send_announce(const TranslatorProfile& profile) {
   // multicast one cached buffer.
   auto it = announce_cache_.find(profile.id);
   if (it == announce_cache_.end()) {
+    announce_cache_misses_.inc();
     xml::Element adv = envelope("announce");
     adv.add_child(profile.to_xml());
     it = announce_cache_.emplace(profile.id, make_payload(to_bytes(adv.to_string()))).first;
+  } else {
+    announce_cache_hits_.inc();
   }
   multicast_payload(it->second);
 }
@@ -271,6 +288,7 @@ void Directory::notify_unmapped(const TranslatorProfile& profile) {
 }
 
 void Directory::handle_datagram(const net::Endpoint& from, const Bytes& payload) {
+  adverts_rx_.inc();
   auto doc = xml::parse(umiddle::to_string(payload));
   if (!doc.ok() || doc.value().name() != "umiddle-adv") {
     log::Entry(log::Level::warn, "directory") << "ignoring malformed advert from "

@@ -25,6 +25,7 @@
 
 #include "core/profile.hpp"
 #include "netsim/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace umiddle::core {
 
@@ -122,6 +123,16 @@ class Directory {
   void unindex_profile(const TranslatorProfile& profile);
 
   Runtime& runtime_;
+  // World-level instruments (net::Network::metrics); counts aggregate across
+  // every runtime in the world — per-node attribution lives in span tracks.
+  obs::Counter& lookups_;
+  obs::Counter& linear_scans_;
+  obs::Counter& index_candidates_;
+  obs::Counter& announce_cache_hits_;
+  obs::Counter& announce_cache_misses_;
+  obs::Counter& adverts_tx_;
+  obs::Counter& adverts_rx_;
+  obs::Counter& expired_;
   bool started_ = false;
   sim::Duration max_age_ = sim::seconds(30);
   std::map<TranslatorId, TranslatorProfile> profiles_;

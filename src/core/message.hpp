@@ -16,6 +16,10 @@ struct Message {
   MimeType type;
   Bytes payload;
   std::map<std::string, std::string> meta;
+  /// Telemetry trace id (obs/trace.hpp), stamped at Runtime::route_emit; 0 =
+  /// untraced. Never serialized into UMTP frames — wire bytes are part of the
+  /// simulated experiment, so the id crosses nodes side-band (tracer baggage).
+  std::uint64_t trace = 0;
 
   static Message text(MimeType type, std::string_view body) {
     return Message{std::move(type), to_bytes(body), {}};

@@ -111,6 +111,9 @@ void Runtime::add_mapper(std::unique_ptr<Mapper> mapper) {
 }
 
 Result<void> Runtime::route_emit(const PortRef& src, Message msg) {
+  // Telemetry ingress: every message entering the intermediary space carries a
+  // trace id from here on (kept if the emitter already attributed one).
+  if (msg.trace == 0) msg.trace = net_.tracer().new_trace();
   transport_->route(src, msg);
   return ok_result();
 }

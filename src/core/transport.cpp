@@ -7,7 +7,17 @@
 
 namespace umiddle::core {
 
-Transport::Transport(Runtime& runtime) : runtime_(runtime) {}
+Transport::Transport(Runtime& runtime)
+    : runtime_(runtime),
+      msgs_enqueued_(runtime.network().metrics().counter("umtp.messages_enqueued")),
+      msgs_forwarded_(runtime.network().metrics().counter("umtp.messages_forwarded")),
+      msgs_dropped_(runtime.network().metrics().counter("umtp.messages_dropped")),
+      data_frames_tx_(runtime.network().metrics().counter("umtp.data_frames_tx")),
+      data_frames_rx_(runtime.network().metrics().counter("umtp.data_frames_rx")),
+      deliver_failures_(runtime.network().metrics().counter("umtp.deliver_failures")),
+      translate_ns_(runtime.network().metrics().histogram("umtp.translate_ns",
+                                                          obs::latency_bounds_ns())),
+      wire_ns_(runtime.network().metrics().histogram("umtp.wire_ns", obs::latency_bounds_ns())) {}
 
 Transport::~Transport() = default;
 
@@ -199,8 +209,10 @@ void Transport::enqueue(Path& path, const PortRef& dst, const std::shared_ptr<co
   if (path.qos.bounded() &&
       path.stats.buffered_bytes + bytes > path.qos.max_buffered_bytes) {
     path.stats.messages_dropped += 1;
+    msgs_dropped_.inc();
     return;
   }
+  msgs_enqueued_.inc();
   path.queue.push_back(Pending{dst, msg});
   path.stats.buffered_bytes += bytes;
   path.stats.max_buffered_bytes =
@@ -251,9 +263,16 @@ void Transport::drain(Path& path) {
   sim::Duration cost = runtime_.costs().translation_cost(bytes);
   path.drain_scheduled = true;
   PathId id = path.id;
+  obs::Tracer& tracer = runtime_.network().tracer();
+  const std::uint64_t span = tracer.begin_span(item.msg->trace, "translate", runtime_.host(),
+                                               runtime_.scheduler().now());
+  translate_ns_.observe(cost.count());
   runtime_.scheduler().schedule_after(
       cost,
-      [this, id, item = std::move(item)]() mutable {
+      [this, id, span, item = std::move(item)]() mutable {
+        // Close the span first: the translation work happened even if the path
+        // was disconnected mid-flight (span-pairing invariant, tests/obs_test).
+        runtime_.network().tracer().end_span(span, runtime_.scheduler().now());
         auto it = paths_.find(id);
         if (it == paths_.end()) return;  // path disconnected while translating
         it->second.drain_scheduled = false;
@@ -283,18 +302,24 @@ void Transport::dispatch(Path& path, Pending item) {
   const TranslatorProfile* profile = runtime_.directory().profile(item.dst.translator);
   if (profile == nullptr) {
     path.stats.messages_dropped += 1;
+    msgs_dropped_.inc();
     return;
   }
   path.stats.messages_forwarded += 1;
   path.stats.bytes_forwarded += item.msg->payload.size();
+  msgs_forwarded_.inc();
+  obs::Tracer& tracer = runtime_.network().tracer();
 
   if (profile->node == runtime_.node()) {
     Translator* t = runtime_.translator(item.dst.translator);
     if (t == nullptr) {
       path.stats.messages_dropped += 1;
+      msgs_dropped_.inc();
       return;
     }
+    tracer.instant(item.msg->trace, "deliver", runtime_.host(), runtime_.scheduler().now());
     if (auto r = t->deliver(item.dst.port, *item.msg); !r.ok()) {
+      deliver_failures_.inc();
       log::Entry(log::Level::warn, "transport")
           << "deliver to " << item.dst.to_string() << " failed: " << r.error().to_string();
     }
@@ -304,8 +329,18 @@ void Transport::dispatch(Path& path, Pending item) {
   NodeLink* link = link_to(profile->node);
   if (link == nullptr) {
     path.stats.messages_dropped += 1;
+    msgs_dropped_.inc();
     return;
   }
+  // The wire span opens here (frame handed to the link, handshake wait and
+  // outbox time included) and is closed by the receiving transport when it
+  // decodes the DATA frame. The trace id travels side-band as tracer baggage
+  // keyed by our client stream id — never inside the frame, whose byte count
+  // drives simulated serialization time (obs/trace.hpp header comment).
+  data_frames_tx_.inc();
+  const std::uint64_t span = tracer.begin_span(item.msg->trace, "wire", runtime_.host(),
+                                               runtime_.scheduler().now());
+  tracer.stage(link->stream->id().value(), item.msg->trace, span);
   link_send(*link, umtp::encode_data(item.dst, *item.msg));
 }
 
@@ -349,6 +384,7 @@ void Transport::on_unmapped(const TranslatorProfile& profile) {
       if (p.dst.translator != profile.id) return false;
       dropped_bytes += p.msg->payload.size();
       path.stats.messages_dropped += 1;
+      msgs_dropped_.inc();
       return true;
     });
     path.stats.buffered_bytes -= dropped_bytes;
@@ -401,8 +437,11 @@ void Transport::accept_peer(net::StreamPtr stream) {
   auto assembler = std::make_shared<umtp::FrameAssembler>();
   peer_streams_.push_back(stream);
   net::Stream* raw = stream.get();
-  stream->on_data([this, assembler](std::span<const std::uint8_t> chunk) {
-    handle_frames(assembler, chunk);
+  // The sender stages trace baggage keyed by its own (client) stream id, which
+  // is this accepted stream's peer.
+  const std::uint64_t channel = stream->peer().value();
+  stream->on_data([this, assembler, channel](std::span<const std::uint8_t> chunk) {
+    handle_frames(assembler, chunk, channel);
   });
   stream->on_close([this, raw]() {
     std::erase_if(peer_streams_, [raw](const net::StreamPtr& s) { return s.get() == raw; });
@@ -410,24 +449,38 @@ void Transport::accept_peer(net::StreamPtr stream) {
 }
 
 void Transport::handle_frames(const std::shared_ptr<umtp::FrameAssembler>& assembler,
-                              std::span<const std::uint8_t> chunk) {
+                              std::span<const std::uint8_t> chunk, std::uint64_t channel) {
   std::vector<umtp::Frame> frames;
   if (auto r = assembler->feed(chunk, frames); !r.ok()) {
     log::Entry(log::Level::warn, "transport") << "bad UMTP frame: " << r.error().to_string();
     return;
   }
-  for (umtp::Frame& frame : frames) handle_frame(std::move(frame));
+  for (umtp::Frame& frame : frames) handle_frame(std::move(frame), channel);
 }
 
-void Transport::handle_frame(umtp::Frame frame) {
+void Transport::handle_frame(umtp::Frame frame, std::uint64_t channel) {
   if (auto* data = std::get_if<umtp::DataFrame>(&frame)) {
+    data_frames_rx_.inc();
+    obs::Tracer& tracer = runtime_.network().tracer();
+    // Claim the side-band baggage the sender staged for this DATA frame: close
+    // its wire span and re-attach the trace id the frame never carried.
+    if (auto staged = tracer.take(channel)) {
+      data->message.trace = staged->trace;
+      tracer.end_span(staged->span, runtime_.scheduler().now());
+      if (staged->span != 0) {
+        wire_ns_.observe(tracer.spans()[staged->span - 1].duration().count());
+      }
+    }
     Translator* t = runtime_.translator(data->dst.translator);
     if (t == nullptr) {
       log::Entry(log::Level::warn, "transport")
           << "DATA for unknown translator " << data->dst.to_string();
+      msgs_dropped_.inc();
       return;
     }
+    tracer.instant(data->message.trace, "deliver", runtime_.host(), runtime_.scheduler().now());
     if (auto r = t->deliver(data->dst.port, data->message); !r.ok()) {
+      deliver_failures_.inc();
       log::Entry(log::Level::warn, "transport")
           << "deliver " << data->dst.to_string() << " failed: " << r.error().to_string();
     }

@@ -32,6 +32,7 @@
 #include "core/qos.hpp"
 #include "core/umtp.hpp"
 #include "netsim/stream.hpp"
+#include "obs/metrics.hpp"
 
 namespace umiddle::core {
 
@@ -136,12 +137,23 @@ class Transport final : public DirectoryListener {
   NodeLink* link_to(NodeId node);
   void link_send(NodeLink& link, Bytes frame);
   void accept_peer(net::StreamPtr stream);
+  /// `channel` is the sending peer's stream id (Stream::peer() of the accepted
+  /// stream) — the tracer baggage channel DATA trace ids arrive on.
   void handle_frames(const std::shared_ptr<umtp::FrameAssembler>& assembler,
-                     std::span<const std::uint8_t> chunk);
-  void handle_frame(umtp::Frame frame);
+                     std::span<const std::uint8_t> chunk, std::uint64_t channel);
+  void handle_frame(umtp::Frame frame, std::uint64_t channel);
   void resume_paths();
 
   Runtime& runtime_;
+  // Per-world instruments (net::Network::metrics), shared across runtimes.
+  obs::Counter& msgs_enqueued_;
+  obs::Counter& msgs_forwarded_;
+  obs::Counter& msgs_dropped_;
+  obs::Counter& data_frames_tx_;
+  obs::Counter& data_frames_rx_;
+  obs::Counter& deliver_failures_;
+  obs::Histogram& translate_ns_;
+  obs::Histogram& wire_ns_;
   bool started_ = false;
   std::map<PathId, Path> paths_;
   /// Paths created here but hosted remotely: path → hosting node.

@@ -8,7 +8,13 @@
 
 namespace umiddle::net {
 
-Network::Network(sim::Scheduler& sched, std::uint64_t seed) : sched_(sched), rng_(seed) {
+Network::Network(sim::Scheduler& sched, std::uint64_t seed)
+    : sched_(sched),
+      rng_(seed),
+      udp_datagrams_(metrics_.counter("net.udp.datagrams")),
+      udp_multicast_sends_(metrics_.counter("net.udp.multicasts")),
+      stream_connects_(metrics_.counter("net.stream.connects")),
+      connect_rtt_ns_(metrics_.histogram("net.stream.connect_rtt_ns", obs::latency_bounds_ns())) {
   // Implicit loopback "segment": traffic between sockets of the same host
   // never touches a physical medium (kernel loopback).
   SegmentSpec loopback;
@@ -20,6 +26,30 @@ Network::Network(sim::Scheduler& sched, std::uint64_t seed) : sched_(sched), rng
   loopback.preamble = 0;
   loopback.mtu_payload = 65536;
   loopback_ = add_segment(loopback);
+
+  // Sample scheduler counters, segment stats, and stream backlog into gauges at
+  // snapshot time. Segments iterate in id order, so gauge registration order —
+  // and with it snapshot layout — is deterministic.
+  metrics_.add_collector([this] {
+    metrics_.gauge("sim.events_dispatched")
+        .set(static_cast<std::int64_t>(sched_.events_dispatched()));
+    metrics_.gauge("sim.pending_events").set(static_cast<std::int64_t>(sched_.pending()));
+    metrics_.gauge("sim.cancellations_reaped")
+        .set(static_cast<std::int64_t>(sched_.cancellations_reaped()));
+    metrics_.gauge("sim.heap_high_water")
+        .set(static_cast<std::int64_t>(sched_.heap_high_water()));
+    metrics_.gauge("net.stream.backlog_high_water")
+        .set(static_cast<std::int64_t>(stream_backlog_high_water_));
+    for (const auto& [id, seg] : segments_) {
+      const std::string prefix = "net.seg" + id.to_string() + "." + seg.spec.name + ".";
+      metrics_.gauge(prefix + "frames").set(static_cast<std::int64_t>(seg.stats.frames));
+      metrics_.gauge(prefix + "payload_bytes")
+          .set(static_cast<std::int64_t>(seg.stats.payload_bytes));
+      metrics_.gauge(prefix + "wire_bytes").set(static_cast<std::int64_t>(seg.stats.wire_bytes));
+      metrics_.gauge(prefix + "dropped").set(static_cast<std::int64_t>(seg.stats.dropped));
+      metrics_.gauge(prefix + "busy_ns").set(seg.stats.busy_time.count());
+    }
+  });
 }
 
 Network::~Network() {
@@ -135,6 +165,7 @@ Result<void> Network::udp_send(const Endpoint& from, const Endpoint& to, Bytes p
 
 Result<void> Network::udp_send(const Endpoint& from, const Endpoint& to, PayloadPtr payload) {
   if (auto r = check_host(from.host); !r.ok()) return r;
+  udp_datagrams_.inc();
   SegmentId seg = common_segment(from.host, to.host);
   if (!seg.valid()) {
     return make_error(Errc::disconnected,
@@ -170,6 +201,7 @@ Result<void> Network::udp_multicast(const Endpoint& from, const std::string& gro
 Result<void> Network::udp_multicast(const Endpoint& from, const std::string& group,
                                     std::uint16_t port, PayloadPtr payload) {
   if (auto r = check_host(from.host); !r.ok()) return r;
+  udp_multicast_sends_.inc();
   const Host& sender = hosts_.at(from.host);
 
   // Collect receivers: every group member sharing a segment with the sender.
@@ -255,6 +287,8 @@ Result<StreamPtr> Network::connect(const std::string& host, const Endpoint& remo
 
   // Three-way handshake: 1.5 RTT of segment latency before both ends are up.
   sim::Duration rtt = spec(seg).latency * 2;
+  stream_connects_.inc();
+  connect_rtt_ns_.observe((rtt + spec(seg).latency).count());
   AcceptHandler accept = listener->second;
   sched_.schedule_after(
       rtt + spec(seg).latency,

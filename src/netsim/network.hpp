@@ -31,6 +31,8 @@
 #include "common/ids.hpp"
 #include "common/rand.hpp"
 #include "common/result.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 
 namespace umiddle::net {
@@ -98,6 +100,14 @@ class Network {
   ~Network();
 
   sim::Scheduler& scheduler() { return sched_; }
+
+  /// Per-world telemetry (DESIGN.md §9). Owned here — next to the seeded Rng —
+  /// for the same reason the Rng is: any process-global telemetry state would
+  /// make a second same-seed run observe different values. A snapshot-time
+  /// collector registered in the constructor samples scheduler counters and
+  /// per-segment stats, so layers below obs stay uncoupled from it.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
 
   /// Monotonic per-world ordinal for naming entities (e.g. runtime node ids).
   /// Deliberately an instance member: process-global counters make a second
@@ -176,9 +186,15 @@ class Network {
   void register_stream(StreamPtr s);
   void forget_stream(StreamId id);
   Stream* stream(StreamId id);
+  /// Streams report their unsent-byte backlog here after every send().
+  void note_stream_backlog(std::size_t queued_bytes) {
+    if (queued_bytes > stream_backlog_high_water_) stream_backlog_high_water_ = queued_bytes;
+  }
 
   sim::Scheduler& sched_;
   Rng rng_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   std::map<SegmentId, Segment> segments_;
   std::unordered_map<std::string, Host> hosts_;
   std::map<Endpoint, DatagramHandler> udp_sockets_;
@@ -189,6 +205,12 @@ class Network {
   SegmentId loopback_;
   std::uint16_t next_ephemeral_ = 49152;
   std::uint64_t node_ordinals_ = 0;
+  std::size_t stream_backlog_high_water_ = 0;
+  // Hot-path instruments, resolved once (references stay valid: registry deques).
+  obs::Counter& udp_datagrams_;
+  obs::Counter& udp_multicast_sends_;
+  obs::Counter& stream_connects_;
+  obs::Histogram& connect_rtt_ns_;
 };
 
 }  // namespace umiddle::net

@@ -28,6 +28,7 @@ Result<void> Stream::send(PayloadPtr payload) {
   }
   if (payload == nullptr || payload->empty()) return ok_result();  // nothing to queue
   queued_bytes_ += payload->size();
+  net_.note_stream_backlog(queued_bytes_);
   send_queue_.push_back(Chunk{std::move(payload), 0});
   if (state_ == State::established) pump();
   return ok_result();

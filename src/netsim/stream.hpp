@@ -28,6 +28,10 @@ class Stream : public std::enable_shared_from_this<Stream> {
   Stream(Private, Network& net, StreamId id, Endpoint local, Endpoint remote, SegmentId segment);
 
   StreamId id() const { return id_; }
+  /// The other end of the connection. Used as the side-band baggage channel key
+  /// for trace propagation (obs/trace.hpp): a server-side stream's peer is the
+  /// client stream the sender staged on.
+  StreamId peer() const { return peer_; }
   const Endpoint& local() const { return local_; }
   const Endpoint& remote() const { return remote_; }
   bool connected() const { return state_ == State::established; }

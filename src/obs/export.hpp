@@ -1,0 +1,41 @@
+// Deterministic telemetry exporters: text, JSON, and Chrome trace_event.
+//
+// All output is derived from integral virtual-time state in registration /
+// span-creation order, so two same-seed runs emit byte-identical documents
+// (tests/obs_test.cpp asserts this). The Chrome export loads directly in
+// chrome://tracing or https://ui.perfetto.dev (see README).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace umiddle::obs {
+
+/// Human-readable snapshot dump (examples print this at end of run).
+std::string to_text(const Snapshot& snap);
+
+/// JSON snapshot: {"metrics": {...}, "histograms": {...}} in registration order.
+std::string to_json(const Snapshot& snap);
+
+/// Closed-span aggregate per phase name, in lexicographic phase order.
+struct SpanAgg {
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t min_ns = 0;
+  std::int64_t max_ns = 0;
+};
+std::map<std::string, SpanAgg> aggregate_spans(const Tracer& tracer);
+
+/// Chrome trace_event JSON (one complete "X" event per closed span, instants
+/// included as zero-duration events; tracks become named threads).
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// The consolidated per-world document the bench/example --metrics-json flag
+/// writes: snapshot + per-phase span aggregates + tracer health.
+std::string world_json(MetricsRegistry& metrics, const Tracer& tracer);
+
+}  // namespace umiddle::obs

@@ -1,0 +1,110 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace umiddle::obs {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(std::int64_t v) {
+  // First bound >= v: inclusive upper-bound buckets. Everything above the last
+  // bound lands in the trailing overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+std::vector<std::int64_t> latency_bounds_ns() {
+  // 1us, 10us, 100us, 1ms, 10ms, 100ms, 1s, 10s — one decade per bucket covers
+  // everything from a LAN frame to a Bluetooth inquiry scan.
+  return {1'000,      10'000,      100'000,       1'000'000,
+          10'000'000, 100'000'000, 1'000'000'000, 10'000'000'000};
+}
+
+const SnapshotEntry* Snapshot::find(std::string_view name) const {
+  for (const auto& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Ref* MetricsRegistry::find_ref(std::string_view name, SnapshotEntry::Kind kind) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  Ref& ref = order_[it->second];
+  return ref.kind == kind ? &ref : nullptr;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  if (Ref* ref = find_ref(name, SnapshotEntry::Kind::counter)) return counters_[ref->index];
+  counters_.emplace_back();
+  by_name_.emplace(std::string(name), order_.size());
+  order_.push_back({std::string(name), SnapshotEntry::Kind::counter, counters_.size() - 1});
+  return counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (Ref* ref = find_ref(name, SnapshotEntry::Kind::gauge)) return gauges_[ref->index];
+  gauges_.emplace_back();
+  by_name_.emplace(std::string(name), order_.size());
+  order_.push_back({std::string(name), SnapshotEntry::Kind::gauge, gauges_.size() - 1});
+  return gauges_.back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<std::int64_t> bounds) {
+  if (Ref* ref = find_ref(name, SnapshotEntry::Kind::histogram)) return histograms_[ref->index];
+  histograms_.emplace_back(std::move(bounds));
+  by_name_.emplace(std::string(name), order_.size());
+  order_.push_back({std::string(name), SnapshotEntry::Kind::histogram, histograms_.size() - 1});
+  return histograms_.back();
+}
+
+void MetricsRegistry::add_collector(std::function<void()> fn) {
+  collectors_.push_back(std::move(fn));
+}
+
+Snapshot MetricsRegistry::snapshot() {
+  // Collectors may register instruments lazily on their first run; any such
+  // additions land at the end of order_ and are included below.
+  for (auto& fn : collectors_) fn();
+  Snapshot snap;
+  snap.entries.reserve(order_.size());
+  for (const auto& ref : order_) {
+    SnapshotEntry e;
+    e.name = ref.name;
+    e.kind = ref.kind;
+    switch (ref.kind) {
+      case SnapshotEntry::Kind::counter:
+        e.count = counters_[ref.index].value();
+        break;
+      case SnapshotEntry::Kind::gauge:
+        e.value = gauges_[ref.index].value();
+        break;
+      case SnapshotEntry::Kind::histogram: {
+        const Histogram& h = histograms_[ref.index];
+        e.count = h.count();
+        e.value = h.sum();
+        e.min = h.min();
+        e.max = h.max();
+        e.bounds = h.bounds();
+        e.buckets = h.buckets();
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+}  // namespace umiddle::obs

@@ -1,0 +1,50 @@
+#include "obs/trace.hpp"
+
+namespace umiddle::obs {
+
+std::uint64_t Tracer::begin_span(std::uint64_t trace, std::string_view name,
+                                 std::string_view track, sim::TimePoint now) {
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return 0;
+  }
+  Span span;
+  span.id = spans_.size() + 1;
+  span.trace = trace;
+  span.name.assign(name);
+  span.track.assign(track);
+  span.begin = now;
+  span.end = now;
+  spans_.push_back(std::move(span));
+  ++open_count_;
+  return spans_.back().id;
+}
+
+void Tracer::end_span(std::uint64_t span_id, sim::TimePoint now) {
+  if (span_id == 0 || span_id > spans_.size()) return;
+  Span& span = spans_[span_id - 1];
+  if (span.closed) return;
+  span.end = now;
+  span.closed = true;
+  --open_count_;
+}
+
+void Tracer::instant(std::uint64_t trace, std::string_view name, std::string_view track,
+                     sim::TimePoint now) {
+  end_span(begin_span(trace, name, track, now), now);
+}
+
+void Tracer::stage(std::uint64_t channel, std::uint64_t trace, std::uint64_t span) {
+  staged_[channel].push_back({trace, span});
+}
+
+std::optional<Tracer::Staged> Tracer::take(std::uint64_t channel) {
+  auto it = staged_.find(channel);
+  if (it == staged_.end() || it->second.empty()) return std::nullopt;
+  Staged staged = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) staged_.erase(it);
+  return staged;
+}
+
+}  // namespace umiddle::obs

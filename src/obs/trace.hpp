@@ -1,0 +1,95 @@
+// Message-path spans over virtual time.
+//
+// A TraceId (plain uint64, 0 = none) is stamped onto a core::Message the first
+// time it enters the runtime (Runtime::route_emit) and rides along through
+// mapper -> translator -> directory match -> UMTP transport -> netsim segment
+// delivery. Each hop opens a Span (phase name + host track + virtual begin/end),
+// so end-to-end bridging latency decomposes into the paper's §5 components:
+// discovery, translation, wire.
+//
+// Determinism contract: span ids, trace ids, and all timestamps derive from the
+// event loop only — two same-seed runs yield byte-identical trace exports. The
+// tracer is per-world (owned by net::Network alongside the metrics registry);
+// never process-global.
+//
+// Cross-node propagation is SIDE-BAND, not in-band. UMTP frame bytes are part
+// of the simulated experiment — timing derives from wire size — so carrying a
+// trace id inside the frame would change every serialization time and perturb
+// virtual-time behavior (the determinism digests would move). Instead the
+// sender stages {trace, wire-span} on a per-stream FIFO "baggage" channel in
+// the world's tracer at link_send time, and the receiver takes it when the
+// DATA frame is decoded. Streams are reliable and ordered and all event
+// processing is deterministic, so the FIFO pairing is exact.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace umiddle::obs {
+
+/// One timed phase of one message's journey (or of a discovery handshake).
+struct Span {
+  std::uint64_t id = 0;     ///< 1-based; equals index+1 in Tracer::spans()
+  std::uint64_t trace = 0;  ///< owning trace, 0 = unattributed
+  std::string name;         ///< phase: "discovery", "translate", "wire", ...
+  std::string track;        ///< host/node the work ran on (Perfetto thread row)
+  sim::TimePoint begin{0};
+  sim::TimePoint end{0};
+  bool closed = false;
+
+  sim::Duration duration() const { return end - begin; }
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Mint a fresh trace id (deterministic per-world sequence).
+  std::uint64_t new_trace() { return ++trace_seq_; }
+
+  /// Open a span; returns its id, or 0 if the tracer is at capacity (the drop
+  /// is counted). end_span(0) is a no-op, so call sites need no branches.
+  std::uint64_t begin_span(std::uint64_t trace, std::string_view name, std::string_view track,
+                           sim::TimePoint now);
+  void end_span(std::uint64_t span_id, sim::TimePoint now);
+  /// Zero-duration marker (e.g. local delivery handoff).
+  void instant(std::uint64_t trace, std::string_view name, std::string_view track,
+               sim::TimePoint now);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::size_t open_spans() const { return open_count_; }
+  std::uint64_t dropped() const { return dropped_; }
+  /// Bound memory under stress scenarios; deterministic because the cap is
+  /// hit at the same point in both same-seed runs.
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+
+  // --- side-band baggage (see file header) ----------------------------------
+  struct Staged {
+    std::uint64_t trace = 0;
+    std::uint64_t span = 0;  ///< sender's open wire span, ended by the receiver
+  };
+  /// Sender: queue baggage for the in-flight DATA frame on `channel` (the
+  /// sender-side stream id). One stage() per DATA frame sent.
+  void stage(std::uint64_t channel, std::uint64_t trace, std::uint64_t span);
+  /// Receiver: claim baggage for the DATA frame just decoded from `channel`.
+  std::optional<Staged> take(std::uint64_t channel);
+
+ private:
+  std::vector<Span> spans_;
+  std::map<std::uint64_t, std::deque<Staged>> staged_;
+  std::size_t capacity_ = 65536;
+  std::size_t open_count_ = 0;
+  std::uint64_t trace_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace umiddle::obs

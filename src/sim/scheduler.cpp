@@ -23,6 +23,7 @@ void Scheduler::cancel(EventHandle handle) {
 
 void Scheduler::heap_push(Event ev) {
   heap_.push_back(std::move(ev));
+  if (heap_.size() > high_water_) high_water_ = heap_.size();
   std::size_t i = heap_.size() - 1;
   while (i > 0) {
     std::size_t parent = (i - 1) / 2;
@@ -59,6 +60,7 @@ void Scheduler::reap_cancelled_front() {
     if (it == cancelled_set_.end()) return;
     cancelled_set_.erase(it);
     --cancelled_;
+    ++reaped_;
     (void)heap_pop();
   }
 }

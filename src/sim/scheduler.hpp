@@ -94,6 +94,12 @@ class Scheduler {
   std::uint64_t trace_digest() const { return digest_.value(); }
   /// Events dispatched so far (cancelled events never count).
   std::uint64_t events_dispatched() const { return dispatched_; }
+  /// Cancelled events lazily discarded at the heap head so far.
+  std::uint64_t cancellations_reaped() const { return reaped_; }
+  /// Largest heap size ever reached (queue pressure high-water mark). Plain
+  /// counters, not obs instruments: sim sits below obs in the layering, so the
+  /// world's registry samples these via a snapshot-time collector instead.
+  std::size_t heap_high_water() const { return high_water_; }
   /// Optional bounded record of recent dispatches, for diffing divergent runs.
   TraceRecorder& trace_recorder() { return recorder_; }
   const TraceRecorder& trace_recorder() const { return recorder_; }
@@ -134,6 +140,8 @@ class Scheduler {
   TimePoint now_{0};
   std::uint64_t next_seq_ = 1;
   std::size_t cancelled_ = 0;
+  std::uint64_t reaped_ = 0;
+  std::size_t high_water_ = 0;
   TraceDigest digest_;
   TraceRecorder recorder_;
   std::uint64_t dispatched_ = 0;

@@ -15,7 +15,13 @@ UpnpTranslator::UpnpTranslator(UpnpMapper& mapper, DeviceDescription description
   set_hierarchy_entities(usdl.hierarchy_entities);
 }
 
-UpnpTranslator::~UpnpTranslator() { *alive_ = false; }
+UpnpTranslator::~UpnpTranslator() {
+  *alive_ = false;
+  // The tracer (world state) outlives this translator: close the span of any
+  // SOAP action still in flight so an unmap never leaves the trace unbalanced.
+  mapper_.runtime().network().tracer().end_span(native_span_,
+                                                mapper_.runtime().scheduler().now());
+}
 
 const ServiceDescription* UpnpTranslator::service_for(const core::UsdlNative& native) const {
   std::string slug = native.attr("service");
@@ -69,6 +75,7 @@ void UpnpTranslator::process_next() {
   }
   // Translate the uMiddle message into a UPnP action object (uMiddle-side
   // cost in the paper's §5.2 split), then invoke over SOAP.
+  mapper_.runtime().network().metrics().counter("upnp.action_translations").inc();
   mapper_.runtime().scheduler().schedule_after(
       mapper_.costs().action_translate,
       [this, alive = alive_, binding = action_binding, msg = std::move(work.msg)]() {
@@ -93,6 +100,11 @@ void UpnpTranslator::run_binding(const core::UsdlBinding& binding, const core::M
     request.args[arg.name] = resolve_arg(arg.value, msg);
   }
   native_started_ = mapper_.runtime().scheduler().now();
+  // Time spent in the UPnP domain (SOAP dispatch → response) as a span, so the
+  // camera→TV decomposition separates native-protocol time from uMiddle time.
+  mapper_.runtime().network().metrics().counter("upnp.soap_actions").inc();
+  native_span_ = mapper_.runtime().network().tracer().begin_span(
+      msg.trace, "native.upnp", mapper_.runtime().host(), native_started_);
   std::string emit_port = binding.emit_port;
   std::string emit_arg = binding.native.attr("emit-arg");
   mapper_.control_point().invoke(
@@ -100,6 +112,9 @@ void UpnpTranslator::run_binding(const core::UsdlBinding& binding, const core::M
       [this, alive = alive_, emit_port, emit_arg](Result<ActionResponse> result) {
         if (!*alive) return;
         last_native_duration_ = mapper_.runtime().scheduler().now() - native_started_;
+        mapper_.runtime().network().tracer().end_span(native_span_,
+                                                      mapper_.runtime().scheduler().now());
+        native_span_ = 0;
         if (!result.ok()) {
           log::Entry(log::Level::warn, "upnp")
               << "action failed on " << profile().name << ": " << result.error().to_string();
@@ -133,6 +148,7 @@ void UpnpTranslator::on_mapped() {
     subscription_tokens_.push_back(mapper_.control_point().subscribe(
         svc->event_sub_url, [this, alive = alive_, service_type](const PropertySet& set) {
           if (!*alive || !mapped()) return;
+          mapper_.runtime().network().metrics().counter("upnp.gena_events").inc();
           for (const auto& [var, value] : set.properties) {
             for (const core::UsdlBinding& b : usdl_.bindings) {
               if (b.kind != "event" || b.native.attr("var") != var) continue;
@@ -189,12 +205,19 @@ void UpnpMapper::handle_device(const DeviceDescription& description,
     return;
   }
   std::string udn = description.udn;
+  // Discovery span: SSDP description in hand → translator instantiated and
+  // advertised (the paper's Fig. 10 "device bridged" latency).
+  obs::Tracer& tracer = runtime_->network().tracer();
+  const std::uint64_t span = tracer.begin_span(tracer.new_trace(), "discovery",
+                                               runtime_->host(), runtime_->scheduler().now());
   auto translator = std::make_unique<UpnpTranslator>(*this, description, *usdl);
-  runtime_->instantiate(std::move(translator), [this, udn](Result<TranslatorId> r) {
+  runtime_->instantiate(std::move(translator), [this, udn, span](Result<TranslatorId> r) {
+    runtime_->network().tracer().end_span(span, runtime_->scheduler().now());
     if (!r.ok()) {
       log::Entry(log::Level::warn, "upnp") << "instantiate failed: " << r.error().to_string();
       return;
     }
+    runtime_->network().metrics().counter("upnp.devices_mapped").inc();
     by_udn_[udn] = r.value();
     log::Entry(log::Level::info, "upnp") << "mapped UPnP device " << udn;
   });

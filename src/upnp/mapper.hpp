@@ -58,6 +58,8 @@ class UpnpTranslator final : public core::Translator {
   bool busy_ = false;
   sim::TimePoint native_started_{};
   sim::Duration last_native_duration_{0};
+  /// Open "native.upnp" span for the in-flight SOAP action (obs tracing).
+  std::uint64_t native_span_ = 0;
   /// Guards async callbacks (SOAP responses, GENA events) against use after
   /// the translator is unmapped and destroyed.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -23,11 +23,56 @@
 #include <utility>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/rand.hpp"
 #include "core/umiddle.hpp"
 
 namespace umiddle {
 namespace {
+
+// --- 0. logging early-out --------------------------------------------------------
+
+/// A type whose formatting is observable: counts how many times operator<<
+/// actually ran. With logging off, log::Entry must never format.
+struct CountingFormattable {
+  mutable int* formats;
+};
+std::ostream& operator<<(std::ostream& os, const CountingFormattable& c) {
+  ++*c.formats;
+  return os << "formatted";
+}
+
+TEST(HotpathEquivalenceTest, DisabledLoggingFormatsNothingAndCallsNoSink) {
+  int sink_calls = 0;
+  int formats = 0;
+  log::set_sink([&sink_calls](log::Level, std::string_view, std::string_view) { ++sink_calls; });
+
+  log::set_level(log::Level::off);
+  EXPECT_FALSE(log::enabled(log::Level::error));
+  log::Entry(log::Level::error, "test") << CountingFormattable{&formats} << 42;
+  EXPECT_EQ(sink_calls, 0);
+  EXPECT_EQ(formats, 0);
+
+  // Below-threshold statements are equally free.
+  log::set_level(log::Level::warn);
+  EXPECT_FALSE(log::enabled(log::Level::debug));
+  EXPECT_TRUE(log::enabled(log::Level::warn));
+  log::Entry(log::Level::debug, "test") << CountingFormattable{&formats};
+  EXPECT_EQ(sink_calls, 0);
+  EXPECT_EQ(formats, 0);
+
+  // Enabled statements still format and reach the sink exactly once.
+  log::Entry(log::Level::warn, "test") << CountingFormattable{&formats};
+  EXPECT_EQ(sink_calls, 1);
+  EXPECT_EQ(formats, 1);
+
+  // No sink installed: enabled() is false at any level, nothing formats.
+  log::set_sink(nullptr);
+  EXPECT_FALSE(log::enabled(log::Level::error));
+  log::Entry(log::Level::error, "test") << CountingFormattable{&formats};
+  EXPECT_EQ(formats, 1);
+  log::set_level(log::Level::off);
+}
 
 using sim::Duration;
 

@@ -50,13 +50,16 @@ def discover_benches(bin_dir: pathlib.Path) -> list[pathlib.Path]:
 
 
 def run_bench(binary: pathlib.Path, smoke: bool) -> dict:
-    """Run one bench binary, return {wall_time_s, benchmarks: [...]}."""
+    """Run one bench binary, return {wall_time_s, benchmarks: [...], metrics: {...}}."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         out_path = pathlib.Path(tmp.name)
+    with tempfile.NamedTemporaryFile(suffix=".metrics.json", delete=False) as tmp:
+        metrics_path = pathlib.Path(tmp.name)
     cmd = [
         str(binary),
         f"--benchmark_out={out_path}",
         "--benchmark_out_format=json",
+        f"--metrics-json={metrics_path}",
     ]
     if smoke:
         # One repetition, minimal measuring time: proves the binary still runs
@@ -70,6 +73,14 @@ def run_bench(binary: pathlib.Path, smoke: bool) -> dict:
         raise RuntimeError(f"{binary.name} exited with {proc.returncode}")
     raw = json.loads(out_path.read_text(encoding="utf-8"))
     out_path.unlink(missing_ok=True)
+    # Per-world telemetry (counters + span-phase aggregates), keyed by scenario.
+    # The worlds are simulated, so these values are deterministic across runs.
+    metrics: dict = {}
+    try:
+        metrics = json.loads(metrics_path.read_text(encoding="utf-8")).get("worlds", {})
+    except (FileNotFoundError, json.JSONDecodeError):
+        pass
+    metrics_path.unlink(missing_ok=True)
     benchmarks = []
     for entry in raw.get("benchmarks", []):
         if entry.get("run_type") == "aggregate":
@@ -89,7 +100,7 @@ def run_bench(binary: pathlib.Path, smoke: bool) -> dict:
                 and isinstance(v, (int, float))
             },
         })
-    return {"wall_time_s": round(wall, 3), "benchmarks": benchmarks}
+    return {"wall_time_s": round(wall, 3), "benchmarks": benchmarks, "metrics": metrics}
 
 
 def run_all(bin_dir: pathlib.Path, smoke: bool) -> dict:
@@ -117,6 +128,51 @@ def flatten(doc: dict) -> dict[str, dict]:
         for entry in data.get("benchmarks", []):
             flat[f"{bench_bin}/{entry['name']}"] = entry
     return flat
+
+
+# Metric-name substrings that indicate waste when they grow: a throughput PR
+# that also increases drops, cache misses, or delivery failures is trading
+# efficiency for speed, and the comparison should say so.
+_EFFICIENCY_BAD = ("dropped", "miss", "failures")
+
+
+def flatten_metrics(doc: dict) -> dict[str, int]:
+    """Map 'binary/world/metric-name' -> counter value."""
+    flat: dict[str, int] = {}
+    for bench_bin, data in doc.get("benches", {}).items():
+        for world, world_doc in data.get("metrics", {}).items():
+            for name, value in world_doc.get("metrics", {}).items():
+                if isinstance(value, int):
+                    flat[f"{bench_bin}/{world}/{name}"] = value
+    return flat
+
+
+def compare_metrics(old_doc: dict, new_doc: dict) -> list[str]:
+    """Flag efficiency regressions: waste counters that grew between runs.
+
+    These are virtual-world counters — deterministic, so any change is a real
+    behavior change, not noise. Returns the flagged lines (also printed).
+    """
+    old_flat, new_flat = flatten_metrics(old_doc), flatten_metrics(new_doc)
+    common = sorted(set(old_flat) & set(new_flat))
+    if not common:
+        return []
+    flagged: list[str] = []
+    changed = 0
+    for name in common:
+        if new_flat[name] == old_flat[name]:
+            continue
+        changed += 1
+        metric = name.rsplit("/", 1)[-1]
+        if any(bad in metric for bad in _EFFICIENCY_BAD) and new_flat[name] > old_flat[name]:
+            line = f"{name}: {old_flat[name]} -> {new_flat[name]}"
+            flagged.append(line)
+    print(f"\nworld metrics: {len(common)} comparable, {changed} changed")
+    if flagged:
+        print(f"{len(flagged)} efficiency regression(s) (waste counters grew):")
+        for line in flagged:
+            print(f"  {line}")
+    return flagged
 
 
 def compare(old_doc: dict, new_doc: dict, threshold_pct: float) -> list[str]:
@@ -159,6 +215,7 @@ def compare(old_doc: dict, new_doc: dict, threshold_pct: float) -> list[str]:
         print(f"new benchmark (no baseline): {name}")
     for name in removed:
         print(f"benchmark removed: {name}")
+    regressions += compare_metrics(old_doc, new_doc)
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond {threshold_pct:.0f}%:")
         for r in regressions:

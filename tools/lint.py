@@ -136,6 +136,14 @@ NODISCARD_RE = re.compile(r"\[\[nodiscard\]\]")
 RANGE_FOR_COPY_RE = re.compile(
     r"\bfor\s*\(\s*(?:const\s+)?auto\s+(?![&*])[A-Za-z_\[][^;()]*?(?<!:):(?!:)")
 
+# Telemetry instruments must be per-world (owned by net::Network): a `static`
+# or `inline` variable — or a static/inline accessor returning one — would be
+# shared across worlds in one process, so a second same-seed run would observe
+# the first run's counts and the byte-identical-snapshot contract would break.
+# (`static_cast`/`static_assert` never match: no word boundary after "static".)
+GLOBAL_TELEMETRY_RE = re.compile(
+    r"\b(?:static|inline)\b[^;{(]*\b(?:MetricsRegistry|Tracer|Counter|Gauge|Histogram)\b")
+
 
 def scan_tokens(path: str, code: str, patterns, rule: str) -> Iterable[Violation]:
     for lineno, line in enumerate(code.splitlines(), 1):
@@ -205,6 +213,15 @@ def check_range_for_copy(path: str, code: str) -> Iterable[Violation]:
                             "`auto&&` when mutating)")
 
 
+def check_global_telemetry(path: str, code: str) -> Iterable[Violation]:
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if GLOBAL_TELEMETRY_RE.search(line):
+            yield Violation("global-telemetry", path, lineno,
+                            "process-global telemetry instrument; metrics and "
+                            "tracers are per-world state owned by net::Network "
+                            "(DESIGN.md §9)")
+
+
 CHECKS: list[Callable[[str, str], Iterable[Violation]]] = [
     check_wall_clock,
     check_randomness,
@@ -213,6 +230,7 @@ CHECKS: list[Callable[[str, str], Iterable[Violation]]] = [
     check_new_delete,
     check_nodiscard,
     check_range_for_copy,
+    check_global_telemetry,
 ]
 
 
@@ -259,6 +277,10 @@ SEEDED_VIOLATIONS = [
      "for (auto profile : profiles_) { use(profile); }\n"),
     ("range-copy", "src/core/evil.cpp",
      "for (const auto [k, v] : meta_) { use(k, v); }\n"),
+    ("global-telemetry", "src/core/evil.cpp",
+     "static obs::MetricsRegistry g_registry;\n"),
+    ("global-telemetry", "src/obs/evil.hpp",
+     "inline Tracer& global_tracer() { return the_tracer; }\n"),
 ]
 
 CLEAN_SNIPPETS = [
@@ -274,6 +296,10 @@ CLEAN_SNIPPETS = [
      "sim::Duration busy_time(int frames);\n"),
     ("src/common/log.cpp",
      "#include <mutex>\n"),
+    ("src/obs/fine.hpp",
+     "obs::Counter& udp_datagrams_;\n"
+     "obs::Histogram connect_rtt{latency_bounds_ns()};\n"
+     "auto n = static_cast<std::uint64_t>(counter.value());\n"),
     ("src/core/fine.cpp",
      "for (const auto& p : profiles_) { use(p); }\n"
      "for (auto& [k, v] : meta_) { use(k, v); }\n"
