@@ -1,0 +1,143 @@
+// §10 (DESIGN.md) — fault recovery times under the chaos harness.
+//
+// No paper counterpart: the ICDCS'06 paper demonstrates bridging on a healthy
+// network. This bench characterises the PR-4 self-healing layer instead: a
+// camera→TV bridge (the Fig. 5 pipeline) is cut mid-stream for L seconds and
+// we measure how long after the heal the buffered photo reaches the renderer.
+//
+// Two components add up to the recovery time:
+//   - backoff remainder: the reconnect timer that happens to straddle the heal
+//     (min 100 ms, doubling to a 2 s cap, +0..50% jitter), and
+//   - replay + render: flushing the outage buffer over the fresh UMTP stream
+//     and pushing the photo through the UPnP domain (~constant).
+// For long partitions the backoff remainder dominates and is bounded by
+// 1.5 * reconnect_cap = 3 s regardless of L — that flatness is the point.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "obs_util.hpp"
+#include "bluetooth/bip.hpp"
+#include "bluetooth/mapper.hpp"
+#include "core/umiddle.hpp"
+#include "netsim/fault.hpp"
+#include "upnp/devices.hpp"
+#include "upnp/mapper.hpp"
+
+namespace {
+
+using namespace umiddle;
+
+struct RecoveryResult {
+  double outage_s = 0;      ///< requested partition length
+  double recover_ms = 0;    ///< heal → buffered photo rendered
+  double reconnect_ms = 0;  ///< heal → UMTP stream re-established
+};
+
+std::uint64_t counter_of(net::Network& net, std::string_view name) {
+  auto snap = net.metrics().snapshot();
+  const obs::SnapshotEntry* entry = snap.find(name);
+  return entry == nullptr ? 0 : entry->count;
+}
+
+/// Fig. 5 world, one partition of `outage` seconds with a photo taken
+/// mid-outage; returns how recovery decomposes after the heal.
+RecoveryResult run_partition(double outage_s) {
+  sim::Scheduler sched;
+  net::Network net(sched, /*seed=*/7);
+  net::SegmentSpec lan_spec;
+  lan_spec.name = "lan";
+  net::SegmentId lan = net.add_segment(lan_spec);
+  for (const char* host : {"living-room", "media-cabinet", "tv-host"}) {
+    (void)net.add_host(host);
+    (void)net.attach(host, lan);
+  }
+  bt::BluetoothMedium piconet(net);
+  bt::BipCamera camera(piconet, "Bench camera");
+  (void)camera.power_on();
+  upnp::MediaRendererTv tv(net, "tv-host", 8000, "Bench TV");
+  (void)tv.start();
+
+  core::UsdlLibrary library;
+  bt::register_bt_usdl(library);
+  upnp::register_upnp_usdl(library);
+  core::Runtime h1(sched, net, "living-room");
+  h1.add_mapper(std::make_unique<bt::BtMapper>(piconet, library));
+  core::Runtime h2(sched, net, "media-cabinet");
+  h2.add_mapper(std::make_unique<upnp::UpnpMapper>(library));
+  (void)h1.start();
+  (void)h2.start();
+  sched.run_for(sim::seconds(4));
+
+  auto cameras = h1.directory().lookup(core::Query().digital_output(MimeType::of("image/*")));
+  if (cameras.empty()) return {};
+  auto path = h1.transport().connect(
+      core::PortRef{cameras[0].id, "image-out"},
+      core::Query().digital_input(MimeType::of("image/*")).platform("upnp"));
+  if (!path.ok()) return {};
+  camera.shutter(Bytes(30000, 0xD8), "warmup.jpg");
+  sched.run_for(sim::seconds(2));
+  if (tv.rendered().size() != 1) return {};
+
+  // Cut, shoot mid-outage (lands in the transport outage buffer), heal.
+  const auto outage = sim::Duration(static_cast<std::int64_t>(outage_s * 1e9));
+  sim::TimePoint cut = sched.now() + sim::milliseconds(1);
+  net.faults().cut(lan, cut, cut + outage);
+  sched.run_for(sim::milliseconds(500));
+  camera.shutter(Bytes(30000, 0xD8), "mid-outage.jpg");
+  sched.run_until(cut + outage);
+  const sim::TimePoint heal = sched.now();
+
+  // Step until the stream is back, then until the buffered photo renders.
+  sim::TimePoint reconnected = heal;
+  while (counter_of(net, "recovery.reconnects") == 0 && sched.pending() > 0) sched.step();
+  reconnected = sched.now();
+  while (tv.rendered().size() < 2 && sched.pending() > 0) sched.step();
+
+  RecoveryResult result;
+  result.outage_s = outage_s;
+  result.reconnect_ms = sim::to_millis(reconnected - heal);
+  result.recover_ms = tv.rendered().size() < 2 ? -1 : sim::to_millis(sched.now() - heal);
+  benchobs::record("partition_" + std::to_string(static_cast<int>(outage_s * 1000)) + "ms",
+                   net);
+  return result;
+}
+
+void print_table() {
+  std::printf("\n=== DESIGN.md §10: bridge recovery after a LAN partition ===\n");
+  std::printf("%-14s %16s %16s\n", "outage[s]", "reconnect[ms]", "replay+render[ms]");
+  for (double outage : {1.0, 2.0, 4.0, 8.0}) {
+    RecoveryResult r = run_partition(outage);
+    std::printf("%-14.1f %16.1f %16.1f\n", r.outage_s, r.reconnect_ms,
+                r.recover_ms - r.reconnect_ms);
+  }
+  std::printf("(reconnect = backoff remainder straddling the heal, capped at\n"
+              " 1.5 * reconnect_cap; replay+render is ~constant)\n\n");
+}
+
+void BM_PartitionRecovery(benchmark::State& state) {
+  const double outage_s = static_cast<double>(state.range(0)) / 1000.0;
+  RecoveryResult r;
+  for (auto _ : state) {
+    r = run_partition(outage_s);
+    state.SetIterationTime(r.recover_ms / 1e3);
+  }
+  state.counters["reconnect_ms"] = r.reconnect_ms;
+  state.counters["recover_ms"] = r.recover_ms;
+}
+
+BENCHMARK(BM_PartitionRecovery)
+    ->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000)
+    ->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  umiddle::benchobs::strip_metrics_flag(argc, argv);
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  umiddle::benchobs::write_recorded();
+  return 0;
+}

@@ -257,6 +257,12 @@ void BtMapper::stop() {
   if (adapter_) adapter_->power_off();
 }
 
+void BtMapper::crash() {
+  stop();  // drop medium listeners, take the adapter off the air
+  adapter_.reset();
+  by_address_.clear();
+}
+
 void BtMapper::handle_device(const BtDeviceInfo& info) {
   if (runtime_ == nullptr || adapter_ == nullptr) return;
   if (info.address == adapter_->address()) return;  // ourselves

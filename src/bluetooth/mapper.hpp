@@ -101,6 +101,9 @@ class BtMapper final : public core::Mapper {
 
   void start(core::Runtime& runtime) override;
   void stop() override;
+  /// Process death: the adapter falls off the piconet and the imported-device
+  /// table is forgotten, so a restart re-discovers and re-imports everything.
+  void crash() override;
 
   // --- base-protocol support used by translators --------------------------------
   BluetoothMedium& medium() { return medium_; }

@@ -1,6 +1,7 @@
 #include "core/directory.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
@@ -94,6 +95,13 @@ Result<void> Directory::start() {
 void Directory::refresh_tick() {
   if (!started_) return;
   announce_all_local();
+  expire_stale();
+  runtime_.scheduler().schedule_after(
+      max_age_ / 3, [this, alive = alive_]() { if (*alive) refresh_tick(); },
+      {sim::host_id(runtime_.host()), sim::tag_id("dir.refresh")});
+}
+
+std::size_t Directory::expire_stale() {
   sim::TimePoint now = runtime_.scheduler().now();
   std::vector<TranslatorProfile> expired;
   for (const auto& [id, seen] : last_seen_) {
@@ -105,6 +113,9 @@ void Directory::refresh_tick() {
   for (const TranslatorProfile& profile : expired) {
     expired_.inc();
     unindex_profile(profile);
+    // The cache is keyed by translator id, and ids of a restarting node are
+    // reassigned from 1: without this erase, a republished id would multicast
+    // the dead translator's stale serialized announcement.
     announce_cache_.erase(profile.id);
     profiles_.erase(profile.id);
     last_seen_.erase(profile.id);
@@ -113,9 +124,12 @@ void Directory::refresh_tick() {
         << profile.node.to_string() << " silent)";
     notify_unmapped(profile);
   }
-  runtime_.scheduler().schedule_after(
-      max_age_ / 3, [this, alive = alive_]() { if (*alive) refresh_tick(); },
-      {sim::host_id(runtime_.host()), sim::tag_id("dir.refresh")});
+  return expired.size();
+}
+
+void Directory::reannounce() {
+  if (!started_) return;
+  announce_all_local();
 }
 
 void Directory::stop() {
@@ -132,6 +146,20 @@ void Directory::stop() {
   // Disarm the refresh timer; a later start() re-arms with a fresh guard.
   *alive_ = false;
   alive_ = std::make_shared<bool>(true);
+}
+
+void Directory::crash() {
+  if (!started_) return;
+  // No byes, no leave_group/udp_close: the fault plane already dropped the
+  // host's sockets and group memberships, and a dead process sends nothing.
+  started_ = false;
+  *alive_ = false;
+  alive_ = std::make_shared<bool>(true);
+  profiles_.clear();
+  shape_index_.clear();
+  announce_cache_.clear();
+  last_seen_.clear();
+  nodes_.clear();
 }
 
 std::vector<TranslatorProfile> Directory::lookup(const Query& query) const {
@@ -321,11 +349,26 @@ void Directory::handle_datagram(const net::Endpoint& from, const Bytes& payload)
     }
     auto existing = profiles_.find(profile.value().id);
     const bool fresh = existing == profiles_.end();
-    if (!fresh) unindex_profile(existing->second);  // re-announce may change the shape
+    // Tombstone-free rebind: a node that crashed and restarted reuses its
+    // translator ids, so a re-announce can carry a *different* device under a
+    // known id without any intervening bye. Detect the change and replay it as
+    // unmap + map so listeners (and dynamic message paths) rebind cleanly.
+    bool rebound = false;
+    std::optional<TranslatorProfile> old;
+    if (!fresh) {
+      const TranslatorProfile& prev = existing->second;
+      const TranslatorProfile& next = profile.value();
+      rebound = prev.name != next.name || prev.platform != next.platform ||
+                prev.device_type != next.device_type || prev.node != next.node ||
+                !(prev.shape == next.shape);
+      if (rebound) old = prev;
+      unindex_profile(prev);  // re-announce may change the shape
+    }
     profiles_[profile.value().id] = profile.value();
     index_profile(profile.value());
     last_seen_[profile.value().id] = runtime_.scheduler().now();
-    if (fresh) notify_mapped(profile.value());
+    if (rebound) notify_unmapped(*old);
+    if (fresh || rebound) notify_mapped(profile.value());
   } else if (type == "bye") {
     std::uint64_t id_raw = 0;
     if (!strings::parse_u64(adv.attr("translator-id"), id_raw)) return;
@@ -333,6 +376,9 @@ void Directory::handle_datagram(const net::Endpoint& from, const Bytes& payload)
     if (it == profiles_.end()) return;
     TranslatorProfile profile = it->second;
     unindex_profile(it->second);
+    // Defensive symmetry with expire_stale(): a bye for an id that somehow
+    // has a cached local announcement must drop the stale serialization too.
+    announce_cache_.erase(profile.id);
     profiles_.erase(it);
     last_seen_.erase(profile.id);
     notify_unmapped(profile);

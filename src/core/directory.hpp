@@ -73,6 +73,21 @@ class Directory {
   [[nodiscard]] Result<void> start();
   /// Send bye for all local translators and leave the group.
   void stop();
+  /// Simulated process death (Runtime::crash): forget all state without
+  /// sending byes — a dead process says nothing. Peers learn of the death
+  /// through soft-state expiry (max_age) instead.
+  void crash();
+
+  /// Re-announce every local translator immediately (lease renewal outside the
+  /// periodic refresh tick). The transport calls this after re-establishing a
+  /// UMTP link, so peers whose soft state expired during the outage re-learn
+  /// our translators without waiting up to max_age/3.
+  void reannounce();
+  /// Drop remote entries not refreshed within max_age (crashed nodes never
+  /// send bye). Invalidates the announce cache for each dropped entry and
+  /// notifies listeners. Returns the number of entries expired. Called by the
+  /// refresh tick; public so tests can force an expiry sweep deterministically.
+  std::size_t expire_stale();
 
   /// Lifetime granted to remote entries per advertisement. Local translators
   /// are re-announced every max_age/3; remote entries not refreshed within

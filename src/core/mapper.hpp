@@ -26,6 +26,10 @@ class Mapper {
   /// Begin discovery; called once the runtime is started.
   virtual void start(Runtime& runtime) = 0;
   virtual void stop() {}
+  /// Simulated process death (Runtime::crash): forget all imported devices so
+  /// a restart re-discovers them from scratch. Default: plain stop(), which is
+  /// enough for mappers without an imported-device memory.
+  virtual void crash() { stop(); }
 
  private:
   std::string platform_;

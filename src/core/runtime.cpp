@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include "common/log.hpp"
+#include "netsim/fault.hpp"
 
 namespace umiddle::core {
 
@@ -45,6 +46,23 @@ void Runtime::stop() {
   }
   directory_->stop();
   transport_->stop();
+  started_ = false;
+}
+
+void Runtime::crash() {
+  if (!started_) return;
+  log::Entry(log::Level::warn, "runtime")
+      << "node " << node_.to_string() << " crashed on " << host_;
+  // Kill the host's network presence first (sockets, streams, memberships)…
+  net_.faults().crash_host(host_);
+  // …then drop all process state. No unmap notifications, no byes: nothing of
+  // this runtime survives, and nothing is sent. Translator ids restart from 1
+  // on the next start(), like a fresh process of the same node.
+  for (auto& mapper : mappers_) mapper->crash();
+  translators_.clear();
+  directory_->crash();
+  transport_->crash();
+  translator_seq_ = 0;
   started_ = false;
 }
 

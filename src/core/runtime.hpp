@@ -44,6 +44,20 @@ struct RuntimeConfig {
   CostModel costs;
   /// Explicit node id; 0 = assign from a process-wide counter.
   std::uint64_t node_id = 0;
+
+  // --- UMTP session re-establishment (DESIGN.md §10) -------------------------
+  // These only matter once the fault plane resets a link; fault-free runs
+  // never schedule a reconnect.
+  /// First reconnect delay; doubles per failed attempt up to reconnect_cap.
+  sim::Duration reconnect_base = sim::milliseconds(100);
+  sim::Duration reconnect_cap = sim::seconds(2);
+  /// Consecutive failures tolerated before the link (and its buffered frames)
+  /// is abandoned.
+  int reconnect_max_attempts = 10;
+  /// Bytes of frames buffered for a down link before drops begin (translator
+  /// graceful degradation: bounded-buffer during the outage, dropped-with-
+  /// counter after).
+  std::size_t outage_buffer_bytes = 128 * 1024;
 };
 
 class Runtime {
@@ -60,6 +74,13 @@ class Runtime {
   [[nodiscard]] Result<void> start();
   /// Withdraw all local translators and stop mappers/sockets.
   void stop();
+  /// Simulated process death: the fault plane tears down this host's sockets,
+  /// streams and group memberships (net::FaultPlane::crash_host), and all
+  /// runtime state is forgotten without byes, FINs or unmap notifications — a
+  /// dead process says nothing. Peers learn of the death through directory
+  /// soft-state expiry. A later start() models a process restart: mappers
+  /// re-discover their devices and re-import them under fresh translator ids.
+  void crash();
   bool started() const { return started_; }
 
   // --- translator management ----------------------------------------------------

@@ -39,11 +39,30 @@ void Transport::stop() {
   auto links = std::move(links_);
   links_.clear();
   for (auto& [node, link] : links) {
+    if (link.recover_span != 0) {
+      runtime_.network().tracer().end_span(link.recover_span, runtime_.scheduler().now());
+    }
     if (link.stream) link.stream->close();
   }
   auto peers = std::move(peer_streams_);
   peer_streams_.clear();
   for (auto& stream : peers) stream->close();
+  paths_.clear();
+  remote_paths_.clear();
+  started_ = false;
+}
+
+void Transport::crash() {
+  if (!started_) return;
+  // The fault plane already tore down our listener, sockets and streams with
+  // no FINs; all that is left is to forget them. Close any open recover spans
+  // first so the trace stays pairing-balanced.
+  obs::Tracer& tracer = runtime_.network().tracer();
+  for (auto& [node, link] : links_) {
+    if (link.recover_span != 0) tracer.end_span(link.recover_span, runtime_.scheduler().now());
+  }
+  links_.clear();
+  peer_streams_.clear();
   paths_.clear();
   remote_paths_.clear();
   started_ = false;
@@ -338,9 +357,15 @@ void Transport::dispatch(Path& path, Pending item) {
   // keyed by our client stream id — never inside the frame, whose byte count
   // drives simulated serialization time (obs/trace.hpp header comment).
   data_frames_tx_.inc();
-  const std::uint64_t span = tracer.begin_span(item.msg->trace, "wire", runtime_.host(),
-                                               runtime_.scheduler().now());
-  tracer.stage(link->stream->id().value(), item.msg->trace, span);
+  if (link->stream != nullptr) {
+    const std::uint64_t span = tracer.begin_span(item.msg->trace, "wire", runtime_.host(),
+                                                 runtime_.scheduler().now());
+    tracer.stage(link->stream->id().value(), item.msg->trace, span);
+  }
+  // else: link down mid-outage. The frame joins the bounded outage buffer and
+  // is replayed on a *new* stream after reconnect; baggage staged on the dead
+  // stream id would never be claimed, so replayed frames lose trace
+  // attribution (documented in DESIGN.md §10).
   link_send(*link, umtp::encode_data(item.dst, *item.msg));
 }
 
@@ -395,38 +420,155 @@ void Transport::on_unmapped(const TranslatorProfile& profile) {
 
 Transport::NodeLink* Transport::link_to(NodeId node) {
   auto it = links_.find(node);
-  if (it != links_.end()) return &it->second;
+  if (it != links_.end()) return &it->second;  // possibly down + reconnecting
 
-  const NodeInfo* info = runtime_.directory().node_info(node);
-  if (info == nullptr) return nullptr;
+  NodeLink fresh;
+  fresh.node = node;
+  // Initial connects keep their pre-fault-plane semantics: an unreachable peer
+  // yields no link and the caller drops the message. Only links that were once
+  // up and got *reset* enter the reconnect loop below.
+  if (!open_stream(fresh)) return nullptr;
+  NodeLink& link = links_[node];
+  link = std::move(fresh);
+  return &link;
+}
+
+bool Transport::open_stream(NodeLink& link) {
+  const NodeInfo* info = runtime_.directory().node_info(link.node);
+  if (info == nullptr) return false;
   auto stream = runtime_.network().connect(runtime_.host(), {info->host, info->umtp_port});
   if (!stream.ok()) {
     log::Entry(log::Level::warn, "transport")
-        << "cannot reach node " << node.to_string() << ": " << stream.error().to_string();
-    return nullptr;
+        << "cannot reach node " << link.node.to_string() << ": " << stream.error().to_string();
+    return false;
   }
-  NodeLink& link = links_[node];
-  link.node = node;
+  NodeId node = link.node;
   link.stream = stream.value();
-  link.stream->on_connected([this, node]() {
-    auto l = links_.find(node);
-    if (l == links_.end()) return;
-    l->second.connected = true;
-    for (Bytes& frame : l->second.outbox) {
-      (void)l->second.stream->send(std::move(frame));
-    }
-    l->second.outbox.clear();
-  });
+  link.connected = false;
+  link.stream->on_connected([this, node]() { handle_link_up(node); });
   link.stream->on_drain([this]() { resume_paths(); });
-  link.stream->on_close([this, node]() {
+  link.stream->on_close([this, node]() { handle_link_close(node); });
+  return true;
+}
+
+void Transport::handle_link_up(NodeId node) {
+  auto l = links_.find(node);
+  if (l == links_.end()) return;
+  NodeLink& link = l->second;
+  link.connected = true;
+  link.attempts = 0;
+  const bool recovered = link.reconnecting;
+  link.reconnecting = false;
+  const std::size_t replayed = link.outbox.size();
+  for (Bytes& frame : link.outbox) {
+    (void)link.stream->send(std::move(frame));
+  }
+  link.outbox.clear();
+  link.outbox_bytes = 0;
+  if (!recovered) return;
+
+  obs::MetricsRegistry& metrics = runtime_.network().metrics();
+  metrics.counter("recovery.reconnects").inc();
+  metrics.counter("recovery.replays").inc(replayed);
+  runtime_.network().tracer().end_span(link.recover_span, runtime_.scheduler().now());
+  link.recover_span = 0;
+  log::Entry(log::Level::info, "transport")
+      << "link to node " << node.to_string() << " re-established, " << replayed
+      << " frame(s) replayed";
+  // The peer's soft state may have expired (or gone stale) during the outage:
+  // renew our leases immediately instead of waiting for the next refresh tick.
+  runtime_.directory().reannounce();
+  resume_paths();
+}
+
+void Transport::handle_link_close(NodeId node) {
+  auto l = links_.find(node);
+  if (l == links_.end()) return;
+  NodeLink& link = l->second;
+  const bool reset = started_ && link.stream != nullptr && link.stream->was_reset();
+  if (!reset) {
+    // Graceful close (peer stop, or our own): drop the link as always.
     runtime_.scheduler().post([this, node]() { links_.erase(node); },
                               {sim::host_id(runtime_.host()), sim::tag_id("umtp.link-close")});
-  });
-  return &link;
+    return;
+  }
+  // Fault path: hold the link, buffer traffic, re-establish with backoff.
+  link.connected = false;
+  link.stream = nullptr;
+  if (!link.reconnecting) {
+    link.reconnecting = true;
+    runtime_.network().metrics().counter("recovery.link_down").inc();
+    // Trace 0 = unattributed: the outage is not part of any one message path.
+    link.recover_span = runtime_.network().tracer().begin_span(
+        0, "recover", runtime_.host(), runtime_.scheduler().now());
+  }
+  schedule_reconnect(link);
+}
+
+void Transport::schedule_reconnect(NodeLink& link) {
+  link.attempts += 1;
+  if (link.attempts > runtime_.config().reconnect_max_attempts) {
+    give_up_link(link.node);
+    return;
+  }
+  // Capped exponential backoff plus uniform jitter of up to half the backoff,
+  // drawn from the world Rng (deterministic per seed; desynchronizes peers
+  // that lost the same link at the same instant).
+  const std::int64_t base = runtime_.config().reconnect_base.count();
+  const std::int64_t cap = runtime_.config().reconnect_cap.count();
+  const int exponent = std::min(link.attempts - 1, 30);
+  const std::int64_t backoff = std::min(base << exponent, cap);
+  const std::int64_t jitter =
+      static_cast<std::int64_t>(runtime_.network().rng().below(
+          static_cast<std::uint64_t>(backoff / 2 + 1)));
+  NodeId node = link.node;
+  runtime_.scheduler().schedule_after(
+      sim::Duration(backoff + jitter), [this, node]() { retry_link(node); },
+      {sim::host_id(runtime_.host()), sim::tag_id("umtp.reconnect")});
+}
+
+void Transport::retry_link(NodeId node) {
+  if (!started_) return;
+  auto l = links_.find(node);
+  if (l == links_.end()) return;
+  NodeLink& link = l->second;
+  if (link.stream != nullptr) return;  // already re-opened (or up)
+  if (!open_stream(link)) {
+    schedule_reconnect(link);
+    return;
+  }
+  // Handshake in flight. Success lands in handle_link_up; if the fault plane
+  // resets the new stream mid-handshake, handle_link_close schedules the next
+  // attempt.
+}
+
+void Transport::give_up_link(NodeId node) {
+  auto l = links_.find(node);
+  if (l == links_.end()) return;
+  NodeLink& link = l->second;
+  obs::MetricsRegistry& metrics = runtime_.network().metrics();
+  metrics.counter("recovery.giveups").inc();
+  metrics.counter("recovery.outage_dropped").inc(link.outbox.size());
+  msgs_dropped_.inc(link.outbox.size());
+  runtime_.network().tracer().end_span(link.recover_span, runtime_.scheduler().now());
+  log::Entry(log::Level::warn, "transport")
+      << "giving up on node " << node.to_string() << " after "
+      << runtime_.config().reconnect_max_attempts << " attempts; " << link.outbox.size()
+      << " buffered frame(s) dropped";
+  links_.erase(l);
 }
 
 void Transport::link_send(NodeLink& link, Bytes frame) {
   if (!link.connected) {
+    // During a fault outage the outbox is a *bounded* degradation buffer;
+    // during the initial handshake it stays unbounded (pre-fault semantics).
+    if (link.reconnecting &&
+        link.outbox_bytes + frame.size() > runtime_.config().outage_buffer_bytes) {
+      runtime_.network().metrics().counter("recovery.outage_dropped").inc();
+      msgs_dropped_.inc();
+      return;
+    }
+    link.outbox_bytes += frame.size();
     link.outbox.push_back(std::move(frame));
     return;
   }

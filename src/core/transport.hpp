@@ -59,6 +59,11 @@ class Transport final : public DirectoryListener {
   /// Listen for UMTP connections from peer runtimes.
   [[nodiscard]] Result<void> start();
   void stop();
+  /// Simulated process death (Runtime::crash): discard all links, paths and
+  /// peer streams without closing anything — the fault plane already tore the
+  /// sockets down, and a dead process sends no FINs. Open recover spans are
+  /// closed so the trace stays pairing-balanced.
+  void crash();
 
   // --- paper Fig. 7 API ---------------------------------------------------------
   /// (1) Fixed path between an output and an input port. Both translators must
@@ -110,10 +115,17 @@ class Transport final : public DirectoryListener {
 
   struct NodeLink {
     NodeId node;
-    net::StreamPtr stream;
-    umtp::FrameAssembler assembler;
+    net::StreamPtr stream;  ///< null while down and awaiting a reconnect attempt
     bool connected = false;
-    std::deque<Bytes> outbox;  ///< frames awaiting the connection handshake
+    /// Set when the stream was reset by the fault plane; the link is held open
+    /// for capped-backoff reconnect attempts instead of being erased, the
+    /// outbox becomes a *bounded* outage buffer, and the next successful
+    /// handshake counts as a recovery (metrics `recovery.reconnects`).
+    bool reconnecting = false;
+    int attempts = 0;  ///< consecutive failed reconnect attempts
+    std::size_t outbox_bytes = 0;
+    std::uint64_t recover_span = 0;  ///< open "recover" span while down
+    std::deque<Bytes> outbox;  ///< frames awaiting the handshake / reconnection
   };
 
   /// High-water mark on a link's unsent bytes before paths pause.
@@ -135,6 +147,15 @@ class Transport final : public DirectoryListener {
   void dispatch(Path& path, Pending item);
 
   NodeLink* link_to(NodeId node);
+  /// Open (or re-open) the UMTP stream for a link and install its handlers.
+  /// False if the peer is unknown or unreachable right now.
+  bool open_stream(NodeLink& link);
+  void handle_link_up(NodeId node);
+  void handle_link_close(NodeId node);
+  /// Capped exponential backoff with world-Rng jitter, then retry_link().
+  void schedule_reconnect(NodeLink& link);
+  void retry_link(NodeId node);
+  void give_up_link(NodeId node);
   void link_send(NodeLink& link, Bytes frame);
   void accept_peer(net::StreamPtr stream);
   /// `channel` is the sending peer's stream id (Stream::peer() of the accepted

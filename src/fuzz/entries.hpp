@@ -1,0 +1,33 @@
+// Fuzz entry points for the project's parsers (DESIGN.md §10).
+//
+// Each entry takes an arbitrary byte string and must never crash, hang or
+// leak: parsers return Result errors for malformed input, and that contract is
+// what these functions exercise. They exist as a tiny library so that
+//
+//   - tests/fuzz_smoke_test.cpp drives them with deterministic splitmix64
+//     mutation fuzzing on every CI run (cheap, sanitizer-checked), and
+//   - an out-of-tree libFuzzer/AFL target can link the same symbols
+//     (`LLVMFuzzerTestOneInput` simply forwards to one of them) without any
+//     test-framework baggage.
+//
+// Return value is an opaque "outcome class" (0 = parse error, 1 = parsed OK),
+// so coverage-guided fuzzers can use it as a cheap feedback signal and the
+// smoke test can assert both classes occur.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace umiddle::fuzz {
+
+/// xml::parse on the bytes interpreted as UTF-8-ish text.
+int fuzz_xml_parse(const std::uint8_t* data, std::size_t size);
+
+/// xml::parse followed by core::parse_usdl on any well-formed document.
+int fuzz_usdl_parse(const std::uint8_t* data, std::size_t size);
+
+/// core::umtp::decode_body on the raw bytes, then FrameAssembler::feed on a
+/// length-prefixed copy, fed in small chunks to exercise reassembly state.
+int fuzz_umtp_decode(const std::uint8_t* data, std::size_t size);
+
+}  // namespace umiddle::fuzz

@@ -1,6 +1,7 @@
 #include "motes/motes.hpp"
 
 #include "common/log.hpp"
+#include "netsim/fault.hpp"
 
 namespace umiddle::motes {
 
@@ -59,8 +60,11 @@ MoteField::MoteField(net::Network& net, double loss) : net_(net) {
   spec.frame_overhead = 11;  // AM + CC2420-style framing
   spec.preamble = 6;
   spec.mtu_payload = 28;
-  spec.loss = loss;
   segment_ = net_.add_segment(spec);
+  // Loss is fault-plane business: all loss-probability mutation goes through
+  // one choke point (lint rule fault-loss) so chaos scenarios can reason about
+  // every lossy segment in the world.
+  net_.faults().set_loss(segment_, loss);
 }
 
 Result<void> MoteField::attach_gateway(const std::string& host) {

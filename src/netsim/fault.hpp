@@ -1,0 +1,125 @@
+// Per-world fault-injection plane (DESIGN.md §10).
+//
+// Owned by net::Network — never process-global, for the same reason the Rng
+// and telemetry are not (a global fault schedule would leak between worlds and
+// break the determinism audit). All faults are driven by virtual time and a
+// dedicated splitmix64 Rng derived from the world seed, so:
+//
+//   * same seed ⇒ identical fault schedule, identical trace digests;
+//   * no faults configured ⇒ zero extra Rng draws, zero extra events, and a
+//     trace digest bit-identical to a build without this subsystem.
+//
+// Fault families:
+//   * partitions — cut(segment, t0, t1): between t0 and t1 the segment carries
+//     nothing (datagrams and stream frames alike are blackholed), established
+//     streams riding it are reset at t0, and new connects fail fast;
+//   * burst loss — a per-segment Gilbert–Elliott two-state Markov chain layered
+//     on top of the uniform SegmentSpec::loss, for radio-style loss bursts
+//     (datagrams only; streams stay lossless by model, as DESIGN.md §4);
+//   * crashes — crash_host(): the host's sockets, listeners, multicast joins
+//     and streams vanish without FIN/bye traffic, exactly as a process death
+//     would leave the kernel. Restart is the owner re-binding (Runtime::start);
+//   * stream resets — reset_stream(): one connection aborts (RST analogue).
+//
+// Documented simplification: a reset is observed by *both* endpoints at fault
+// time, rather than after a detection timeout — recovery latency measured by
+// bench_fault_recovery is therefore reconnect latency, not failure-detection
+// latency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/rand.hpp"
+#include "netsim/network.hpp"
+
+namespace umiddle::net {
+
+/// Gilbert–Elliott burst-loss parameters. The chain advances once per lossy
+/// (datagram) frame consulted on the segment.
+struct BurstLossSpec {
+  /// P(good → bad) per consulted frame.
+  double p_good_to_bad = 0.05;
+  /// P(bad → good) per consulted frame.
+  double p_bad_to_good = 0.25;
+  /// Frame loss probability while in the good state.
+  double loss_good = 0.0;
+  /// Frame loss probability while in the bad state.
+  double loss_bad = 0.9;
+};
+
+class FaultPlane {
+ public:
+  /// Constructed by Network only; the fault Rng is derived from the world seed
+  /// (never shared with the network's own Rng, so configuring faults does not
+  /// perturb the uniform-loss draw sequence).
+  FaultPlane(Network& net, std::uint64_t seed);
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  // --- scheduled partitions --------------------------------------------------
+  /// Schedule a partition of `segment` over [t0, t1) in absolute virtual time.
+  void cut(SegmentId segment, sim::TimePoint t0, sim::TimePoint t1);
+  /// Partition a segment immediately: reset every stream riding it and
+  /// blackhole all frames until heal_now().
+  void partition_now(SegmentId segment);
+  void heal_now(SegmentId segment);
+  bool partitioned(SegmentId segment) const { return partitioned_.count(segment) != 0; }
+
+  // --- burst loss ------------------------------------------------------------
+  void set_burst_loss(SegmentId segment, BurstLossSpec spec);
+  void clear_burst_loss(SegmentId segment);
+
+  /// Single choke point for uniform segment loss (tools/lint.py `fault-loss`
+  /// rule: nothing outside this class may assign SegmentSpec::loss on a live
+  /// segment, so every lossy configuration is visible in one place).
+  void set_loss(SegmentId segment, double probability);
+
+  // --- crashes and resets ----------------------------------------------------
+  /// Simulate process/host death: all udp binds, listeners and multicast
+  /// memberships on `host` vanish; its streams die silently (the dead process
+  /// observes nothing) while each peer end is reset. The host stays attached
+  /// to its segments — restarting is simply re-binding.
+  void crash_host(const std::string& host);
+  /// Abort one connection: both endpoints are reset (no FIN exchange).
+  void reset_stream(StreamId id);
+
+  // --- introspection ---------------------------------------------------------
+  std::uint64_t partitions() const { return partitions_; }
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t streams_reset() const { return streams_reset_; }
+  std::uint64_t frames_blackholed() const { return frames_blackholed_; }
+  std::uint64_t burst_losses() const { return burst_losses_; }
+
+ private:
+  friend class Network;
+
+  struct GeChain {
+    BurstLossSpec spec;
+    bool bad = false;
+  };
+
+  /// Hot-path hook for Network::send_frame: true if the frame must vanish.
+  /// Partition check first (applies to every frame); the GE chain is consulted
+  /// only for lossy frames and only when configured for the segment, so a
+  /// fault-free world draws nothing from rng_.
+  bool frame_lost(SegmentId segment, bool lossless);
+
+  /// Reset every non-closed stream on `segment`, in ascending StreamId order
+  /// (digest-stable regardless of the streams_ hash layout).
+  void reset_streams_on_segment(SegmentId segment);
+
+  Network& net_;
+  Rng rng_;
+  std::set<SegmentId> partitioned_;
+  std::map<SegmentId, GeChain> burst_;
+  std::uint64_t partitions_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t streams_reset_ = 0;
+  std::uint64_t frames_blackholed_ = 0;
+  std::uint64_t burst_losses_ = 0;
+};
+
+}  // namespace umiddle::net

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "netsim/fault.hpp"
 #include "netsim/stream.hpp"
 
 namespace umiddle::net {
@@ -11,6 +12,7 @@ namespace umiddle::net {
 Network::Network(sim::Scheduler& sched, std::uint64_t seed)
     : sched_(sched),
       rng_(seed),
+      faults_(std::make_unique<FaultPlane>(*this, seed)),
       udp_datagrams_(metrics_.counter("net.udp.datagrams")),
       udp_multicast_sends_(metrics_.counter("net.udp.multicasts")),
       stream_connects_(metrics_.counter("net.stream.connects")),
@@ -137,6 +139,10 @@ sim::TimePoint Network::send_frame(SegmentId seg_id, const std::string& src,
   seg.stats.busy_time += ser_time;
 
   bool lost = !lossless && spec.loss > 0.0 && rng_.chance(spec.loss);
+  // Fault plane second: partitions blackhole everything (lossless included);
+  // the Gilbert–Elliott chain layers burst loss on datagrams. A fault-free
+  // world takes neither branch and draws nothing extra.
+  if (!lost) lost = faults_->frame_lost(seg_id, lossless);
   if (lost) {
     seg.stats.dropped += 1;
     return arrival;
@@ -269,6 +275,10 @@ Result<StreamPtr> Network::connect(const std::string& host, const Endpoint& remo
   if (!seg.valid()) {
     return make_error(Errc::disconnected,
                       "no shared segment between " + host + " and " + remote.host);
+  }
+  if (faults_->partitioned(seg)) {
+    return make_error(Errc::disconnected,
+                      "segment partitioned: " + segments_.at(seg).spec.name);
   }
   auto listener = listeners_.find(remote);
   if (listener == listeners_.end()) {

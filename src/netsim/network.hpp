@@ -87,6 +87,7 @@ struct SegmentStats {
 
 class Stream;
 using StreamPtr = std::shared_ptr<Stream>;
+class FaultPlane;
 
 using DatagramHandler = std::function<void(const Endpoint& from, const Bytes& payload)>;
 using AcceptHandler = std::function<void(StreamPtr stream)>;
@@ -108,6 +109,17 @@ class Network {
   /// per-segment stats, so layers below obs stay uncoupled from it.
   obs::MetricsRegistry& metrics() { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }
+
+  /// Per-world fault-injection plane (DESIGN.md §10): partitions, burst loss,
+  /// host crashes, stream resets. Owned here for the same per-world-state
+  /// reason as the Rng and telemetry. Configuring nothing on it leaves every
+  /// digest and metrics snapshot bit-identical to a fault-free build.
+  FaultPlane& faults() { return *faults_; }
+
+  /// The world's seeded Rng. Protocol-level recovery (e.g. UMTP reconnect
+  /// jitter) draws from here; fault-free code paths never touch it outside
+  /// send_frame's loss draw, so the draw sequence stays stable.
+  Rng& rng() { return rng_; }
 
   /// Monotonic per-world ordinal for naming entities (e.g. runtime node ids).
   /// Deliberately an instance member: process-global counters make a second
@@ -154,6 +166,7 @@ class Network {
 
  private:
   friend class Stream;
+  friend class FaultPlane;
 
   struct Segment {
     SegmentSpec spec;
@@ -195,6 +208,7 @@ class Network {
   Rng rng_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_;
+  std::unique_ptr<FaultPlane> faults_;  ///< constructed in the .cpp (incomplete type here)
   std::map<SegmentId, Segment> segments_;
   std::unordered_map<std::string, Host> hosts_;
   std::map<Endpoint, DatagramHandler> udp_sockets_;

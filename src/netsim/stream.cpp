@@ -152,6 +152,25 @@ void Stream::peer_closed() {
   release_handlers_soon();
 }
 
+void Stream::abort(bool notify_handlers) {
+  if (state_ == State::closed) return;
+  reset_ = true;
+  state_ = State::closed;
+  send_queue_.clear();
+  queued_bytes_ = 0;
+  close_after_drain_ = false;
+  if (notify_handlers) {
+    fire_close_handlers();
+  } else {
+    close_handlers_fired_ = true;  // a dead process's callbacks never run
+  }
+  // No FIN frame: the connection vanished, nothing traverses the medium.
+  auto self = shared_from_this();
+  net_.scheduler().post([this, self]() { net_.forget_stream(id_); },
+                        {sim::host_id(local_.host), sim::tag_id("net.stream.forget")});
+  release_handlers_soon();
+}
+
 void Stream::fire_close_handlers() {
   if (close_handlers_fired_) return;
   close_handlers_fired_ = true;

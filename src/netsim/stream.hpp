@@ -36,6 +36,10 @@ class Stream : public std::enable_shared_from_this<Stream> {
   const Endpoint& remote() const { return remote_; }
   bool connected() const { return state_ == State::established; }
   bool closed() const { return state_ == State::closed; }
+  /// True if the stream was torn down by the fault plane (partition, crash, or
+  /// targeted reset) rather than a graceful close. Protocol layers key their
+  /// reconnect logic off this, so graceful shutdowns never trigger recovery.
+  bool was_reset() const { return reset_; }
 
   void on_connected(VoidHandler h) { on_connected_ = std::move(h); }
   void on_data(DataHandler h) { on_data_ = std::move(h); }
@@ -68,6 +72,7 @@ class Stream : public std::enable_shared_from_this<Stream> {
 
  private:
   friend class Network;
+  friend class FaultPlane;
   enum class State { connecting, established, closing, closed };
 
   /// One send() buffer awaiting transmission; offset marks how much of it has
@@ -79,6 +84,10 @@ class Stream : public std::enable_shared_from_this<Stream> {
 
   void set_peer(StreamId peer) { peer_ = peer; }
   void establish();
+  /// Fault-plane teardown: discard queued bytes and die without a FIN. With
+  /// `notify_handlers` the close handlers fire (a live peer observing an
+  /// abort); without, they are suppressed (the dead process's own end).
+  void abort(bool notify_handlers);
   void pump();  ///< drain send queue into frames
   void deliver(const Bytes& data, std::size_t offset, std::size_t len);
   void peer_closed();
@@ -99,6 +108,7 @@ class Stream : public std::enable_shared_from_this<Stream> {
   bool pumping_ = false;
   bool close_after_drain_ = false;
   bool close_handlers_fired_ = false;
+  bool reset_ = false;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
   std::uint64_t segments_received_ = 0;

@@ -19,7 +19,11 @@
 // sender stages {trace, wire-span} on a per-stream FIFO "baggage" channel in
 // the world's tracer at link_send time, and the receiver takes it when the
 // DATA frame is decoded. Streams are reliable and ordered and all event
-// processing is deterministic, so the FIFO pairing is exact.
+// processing is deterministic, so the FIFO pairing is exact. One phase is not
+// message-scoped: "recover" (trace 0, unattributed) brackets a link outage
+// from reset detection to reconnect/give-up — staged baggage dies with the
+// old stream, so replayed frames are counted (recovery.replays) but get no
+// wire span; the recover span carries the outage's timing instead.
 #pragma once
 
 #include <cstdint>

@@ -194,6 +194,14 @@ void UpnpMapper::stop() {
   if (control_point_) control_point_->stop();
 }
 
+void UpnpMapper::crash() {
+  // The fault plane already dropped this host's sockets; the control point's
+  // teardown is idempotent against that. Forgetting by_udn_ is what makes a
+  // restart re-import devices instead of treating them as already mapped.
+  by_udn_.clear();
+  control_point_.reset();
+}
+
 void UpnpMapper::handle_device(const DeviceDescription& description,
                                const std::string& location) {
   if (runtime_ == nullptr || by_udn_.count(description.udn) != 0) return;

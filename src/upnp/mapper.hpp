@@ -76,6 +76,9 @@ class UpnpMapper final : public core::Mapper {
 
   void start(core::Runtime& runtime) override;
   void stop() override;
+  /// Process death: forget the imported-device table so a restarted mapper
+  /// re-discovers and re-imports every device under fresh translator ids.
+  void crash() override;
 
   // --- base-protocol support used by translators -------------------------------
   ControlPoint& control_point() { return *control_point_; }

@@ -1,0 +1,375 @@
+// Chaos harness: fault-injection scenarios against whole bridging worlds
+// (DESIGN.md §10). Every scenario doubles as a determinism check — it is run
+// twice from the same seed and must produce byte-identical telemetry
+// (obs::world_json) and an identical scheduler trace digest, faults included:
+// the fault plane draws from its own seeded Rng, so fault schedules replay.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bluetooth/bip.hpp"
+#include "bluetooth/mapper.hpp"
+#include "core/umiddle.hpp"
+#include "netsim/fault.hpp"
+#include "obs/export.hpp"
+#include "upnp/devices.hpp"
+#include "upnp/mapper.hpp"
+
+namespace umiddle {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+/// The paper's Figure 5 world (Bluetooth camera on H1, UPnP TV on H2), the
+/// standing target for fault injection.
+struct ChaosWorld {
+  sim::Scheduler sched;
+  net::Network net{sched, 1};
+  net::SegmentId lan;
+  std::unique_ptr<bt::BluetoothMedium> piconet;
+  std::unique_ptr<bt::BipCamera> camera;
+  std::unique_ptr<upnp::MediaRendererTv> tv;
+  core::UsdlLibrary library;
+  std::unique_ptr<core::Runtime> h1;
+  std::unique_ptr<core::Runtime> h2;
+
+  ChaosWorld() {
+    net::SegmentSpec spec;
+    spec.name = "lan";
+    spec.latency = sim::microseconds(100);
+    lan = net.add_segment(spec);
+    for (const char* h : {"h1", "h2", "tv-host"}) {
+      EXPECT_TRUE(net.add_host(h).ok());
+      EXPECT_TRUE(net.attach(h, lan).ok());
+    }
+    piconet = std::make_unique<bt::BluetoothMedium>(net);
+    camera = std::make_unique<bt::BipCamera>(*piconet, "Camera");
+    EXPECT_TRUE(camera->power_on().ok());
+    tv = std::make_unique<upnp::MediaRendererTv>(net, "tv-host", 8000, "TV");
+    EXPECT_TRUE(tv->start().ok());
+
+    bt::register_bt_usdl(library);
+    upnp::register_upnp_usdl(library);
+    h1 = std::make_unique<core::Runtime>(sched, net, "h1");
+    h1->add_mapper(std::make_unique<bt::BtMapper>(*piconet, library));
+    h2 = std::make_unique<core::Runtime>(sched, net, "h2");
+    h2->add_mapper(std::make_unique<upnp::UpnpMapper>(library));
+    EXPECT_TRUE(h1->start().ok());
+    EXPECT_TRUE(h2->start().ok());
+    sched.run_for(seconds(4));
+  }
+
+  /// Dynamic camera→TV path hosted on H1, as in Figure 5.
+  PathId bridge() {
+    auto cameras =
+        h1->directory().lookup(core::Query().digital_output(MimeType::of("image/jpeg")));
+    EXPECT_EQ(cameras.size(), 1u);
+    auto path = h1->transport().connect(
+        core::PortRef{cameras[0].id, "image-out"},
+        core::Query().digital_input(MimeType::of("image/*")).platform("upnp"));
+    EXPECT_TRUE(path.ok());
+    return path.ok() ? path.value() : PathId{};
+  }
+
+  /// Counter value via snapshot: find() does not register, so reading a
+  /// counter that never fired cannot perturb the telemetry we later compare.
+  std::uint64_t counter(std::string_view name);
+};
+
+/// Counter value via snapshot, for worlds without a ChaosWorld wrapper.
+std::uint64_t counter_of(net::Network& net, std::string_view name) {
+  auto snap = net.metrics().snapshot();
+  const obs::SnapshotEntry* e = snap.find(name);
+  return e == nullptr ? 0 : e->count;
+}
+
+std::uint64_t ChaosWorld::counter(std::string_view name) { return counter_of(net, name); }
+
+/// What a scenario run leaves behind; two same-seed runs must match exactly.
+struct RunRecord {
+  std::string telemetry;
+  std::uint64_t digest = 0;
+};
+
+void finish(ChaosWorld& w, RunRecord* rec) {
+  rec->telemetry = obs::world_json(w.net.metrics(), w.net.tracer());
+  rec->digest = w.sched.trace_digest();
+}
+
+// --- scenario 1: mid-stream partition, self-healing bridge ----------------------
+
+void partition_scenario(RunRecord* rec) {
+  ChaosWorld w;
+  w.bridge();
+  w.camera->shutter(Bytes(30000, 0xD8), "before.jpg");
+  w.sched.run_for(seconds(3));
+  ASSERT_EQ(w.tv->rendered().size(), 1u);
+
+  // Cut the LAN for 5 s: the established H1→H2 UMTP stream is reset at the
+  // cut, every reconnect attempt inside the window fails fast, and directory
+  // adverts are blackholed (harmless — max_age is 30 s).
+  sim::TimePoint t0 = w.sched.now() + milliseconds(1);
+  w.net.faults().cut(w.lan, t0, t0 + seconds(5));
+  w.sched.run_for(seconds(1));
+  EXPECT_TRUE(w.net.faults().partitioned(w.lan));
+  EXPECT_EQ(w.net.faults().partitions(), 1u);
+
+  // Shot taken mid-outage: it crosses the piconet fine, then waits in the
+  // transport's bounded outage buffer (30 kB < outage_buffer_bytes).
+  w.camera->shutter(Bytes(30000, 0xD8), "during.jpg");
+  // Reconnect backoff is 100 ms·2^k capped at 2 s (+ jitter ≤ half), so the
+  // first post-heal attempt lands within ~3 s of the heal.
+  w.sched.run_for(seconds(19));
+
+  EXPECT_FALSE(w.net.faults().partitioned(w.lan));
+  ASSERT_EQ(w.tv->rendered().size(), 2u);  // zero post-recovery loss
+  EXPECT_EQ(w.tv->rendered()[1].name, "during.jpg");
+  EXPECT_EQ(w.tv->rendered()[1].bytes, 30000u);
+  EXPECT_GE(w.counter("recovery.reconnects"), 1u);
+  EXPECT_GE(w.counter("recovery.replays"), 1u);
+  EXPECT_EQ(w.counter("recovery.outage_dropped"), 0u);
+  EXPECT_EQ(w.counter("fault.partitions"), 1u);
+  EXPECT_GT(w.counter("fault.frames_blackholed"), 0u);
+  EXPECT_GE(w.counter("fault.stream_resets"), 1u);
+  finish(w, rec);
+}
+
+TEST(ChaosTest, BridgeSurvivesMidStreamPartition) {
+  RunRecord a, b;
+  ASSERT_NO_FATAL_FAILURE(partition_scenario(&a));
+  ASSERT_NO_FATAL_FAILURE(partition_scenario(&b));
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.telemetry, b.telemetry);
+}
+
+// --- scenario 2: mapper node crash + restart re-imports devices -----------------
+
+void crash_restart_scenario(RunRecord* rec) {
+  ChaosWorld w;
+  w.bridge();
+  w.camera->shutter(Bytes(8000, 0xD8), "before.jpg");
+  w.sched.run_for(seconds(3));
+  ASSERT_EQ(w.tv->rendered().size(), 1u);
+
+  // H2 (the UPnP mapper node) dies: its sockets vanish, H1's UMTP link is
+  // reset, nobody says bye.
+  w.h2->crash();
+  EXPECT_FALSE(w.h2->started());
+  EXPECT_EQ(w.net.faults().crashes(), 1u);
+  EXPECT_EQ(w.counter("fault.crashes"), 1u);
+  w.sched.run_for(seconds(2));
+  EXPECT_EQ(w.h2->directory().known_translators(), 0u);
+
+  // Restart: the mapper re-discovers the TV and re-imports it (fresh process,
+  // translator ids restart), the directory re-learns H1's camera via probe,
+  // and H1's reconnect loop finds the listener again.
+  ASSERT_TRUE(w.h2->start().ok());
+  w.sched.run_for(seconds(6));
+  EXPECT_EQ(w.h2->directory().lookup(core::Query().platform("upnp")).size(), 1u);
+  EXPECT_EQ(w.h2->directory().lookup(core::Query().platform("bluetooth")).size(), 1u);
+
+  // The dynamic path on H1 re-binds (same recycled translator id) and the
+  // bridge carries traffic again.
+  w.camera->shutter(Bytes(8000, 0xD8), "after.jpg");
+  w.sched.run_for(seconds(4));
+  ASSERT_EQ(w.tv->rendered().size(), 2u);
+  EXPECT_EQ(w.tv->rendered()[1].name, "after.jpg");
+  EXPECT_GE(w.counter("recovery.reconnects"), 1u);
+  finish(w, rec);
+}
+
+TEST(ChaosTest, MapperCrashAndRestartReimportsDevices) {
+  RunRecord a, b;
+  ASSERT_NO_FATAL_FAILURE(crash_restart_scenario(&a));
+  ASSERT_NO_FATAL_FAILURE(crash_restart_scenario(&b));
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.telemetry, b.telemetry);
+}
+
+// --- scenario 3: crashed node's entries expire, restart re-announces ------------
+
+void expiry_scenario(RunRecord* rec) {
+  sim::Scheduler sched;
+  net::Network net(sched, 1);
+  net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+  for (const char* h : {"a", "b"}) {
+    ASSERT_TRUE(net.add_host(h).ok());
+    ASSERT_TRUE(net.attach(h, lan).ok());
+  }
+  core::Runtime ra(sched, net, "a");
+  core::Runtime rb(sched, net, "b");
+  ra.directory().set_max_age(seconds(2));
+  rb.directory().set_max_age(seconds(2));
+  ASSERT_TRUE(ra.start().ok());
+  ASSERT_TRUE(rb.start().ok());
+
+  int mapped = 0, unmapped = 0;
+  core::LambdaListener listener([&](const core::TranslatorProfile&) { ++mapped; },
+                                [&](const core::TranslatorProfile&) { ++unmapped; });
+  rb.directory().add_directory_listener(&listener);
+
+  (void)ra.map(std::make_unique<core::LambdaDevice>(
+                   "Flaky device", core::make_source_shape("out", MimeType::of("image/jpeg"))))
+      .take();
+  sched.run_for(seconds(1));
+  ASSERT_EQ(rb.directory().lookup(core::Query().platform("umiddle")).size(), 1u);
+  EXPECT_EQ(mapped, 1);
+
+  // A dies silently. B expires the entry once its lease (max_age 2 s) lapses.
+  ra.crash();
+  sched.run_for(seconds(4));
+  EXPECT_EQ(rb.directory().lookup(core::Query().platform("umiddle")).size(), 0u);
+  EXPECT_EQ(unmapped, 1);
+  EXPECT_GE(rb.directory().expire_stale(), 0u);  // idempotent: already clean
+  EXPECT_EQ(counter_of(net, "dir.expired"), 1u);
+
+  // A restarts and re-maps its device: B re-learns it as a fresh mapping.
+  ASSERT_TRUE(ra.start().ok());
+  (void)ra.map(std::make_unique<core::LambdaDevice>(
+                   "Flaky device", core::make_source_shape("out", MimeType::of("image/jpeg"))))
+      .take();
+  sched.run_for(seconds(1));
+  EXPECT_EQ(rb.directory().lookup(core::Query().platform("umiddle")).size(), 1u);
+  EXPECT_EQ(mapped, 2);
+  rb.directory().remove_directory_listener(&listener);
+
+  rec->telemetry = obs::world_json(net.metrics(), net.tracer());
+  rec->digest = sched.trace_digest();
+}
+
+TEST(ChaosTest, CrashedNodeEntriesExpireAndReappearOnRestart) {
+  RunRecord a, b;
+  ASSERT_NO_FATAL_FAILURE(expiry_scenario(&a));
+  ASSERT_NO_FATAL_FAILURE(expiry_scenario(&b));
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.telemetry, b.telemetry);
+}
+
+// --- scenario 3b: recycled translator id after restart (stale-state regression) -
+
+TEST(ChaosTest, RestartWithRecycledIdRebindsWithoutStaleAnnouncement) {
+  // A crashed-and-restarted node reuses its translator ids (the sequence
+  // restarts with the process). If any serialized-announcement cache or
+  // profile entry survived under the recycled id, peers would keep seeing the
+  // *old* device. They must instead observe unmap(old) + map(new).
+  sim::Scheduler sched;
+  net::Network net(sched, 1);
+  net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+  for (const char* h : {"a", "b"}) {
+    ASSERT_TRUE(net.add_host(h).ok());
+    ASSERT_TRUE(net.attach(h, lan).ok());
+  }
+  core::Runtime ra(sched, net, "a");
+  core::Runtime rb(sched, net, "b");  // default max_age 30 s: nothing expires here
+  ASSERT_TRUE(ra.start().ok());
+  ASSERT_TRUE(rb.start().ok());
+
+  auto alpha = ra.map(std::make_unique<core::LambdaDevice>(
+                          "Alpha", core::make_source_shape("out", MimeType::of("image/jpeg"))))
+                   .take();
+  sched.run_for(seconds(1));
+  ASSERT_NE(rb.directory().profile(alpha), nullptr);
+  EXPECT_EQ(rb.directory().profile(alpha)->name, "Alpha");
+
+  std::vector<std::string> events;
+  core::LambdaListener listener(
+      [&](const core::TranslatorProfile& p) { events.push_back("map:" + p.name); },
+      [&](const core::TranslatorProfile& p) { events.push_back("unmap:" + p.name); });
+  rb.directory().add_directory_listener(&listener);
+
+  ra.crash();
+  sched.run_for(seconds(1));  // well within max_age: B still holds Alpha
+  ASSERT_NE(rb.directory().profile(alpha), nullptr);
+
+  ASSERT_TRUE(ra.start().ok());
+  auto beta = ra.map(std::make_unique<core::LambdaDevice>(
+                         "Beta", core::make_source_shape("out", MimeType::of("text/plain"))))
+                  .take();
+  ASSERT_EQ(beta, alpha);  // the id really is recycled
+  sched.run_for(seconds(1));
+
+  const core::TranslatorProfile* p = rb.directory().profile(alpha);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->name, "Beta");
+  core::PortQuery old_out;
+  old_out.kind = core::PortKind::digital;
+  old_out.direction = core::Direction::output;
+  old_out.type = MimeType::of("image/jpeg");
+  EXPECT_TRUE(rb.directory().lookup(core::Query().require(old_out)).empty());
+  EXPECT_EQ(rb.directory()
+                .lookup(core::Query().digital_output(MimeType::of("text/plain")))
+                .size(),
+            1u);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "unmap:Alpha");
+  EXPECT_EQ(events[1], "map:Beta");
+  rb.directory().remove_directory_listener(&listener);
+}
+
+// --- scenario 4: burst loss on the backbone ------------------------------------
+
+void burst_loss_scenario(RunRecord* rec) {
+  ChaosWorld w;
+  // Gilbert–Elliott burst loss on the LAN, aggressive enough that advert
+  // datagrams are lost in runs. Streams are lossless by model (DESIGN.md §4),
+  // so UMTP framing never sees a gap and the FrameAssembler cannot stall —
+  // which is exactly what the end-to-end delivery below demonstrates.
+  net::BurstLossSpec spec;
+  spec.p_good_to_bad = 0.4;
+  spec.p_bad_to_good = 0.3;
+  spec.loss_good = 0.1;
+  spec.loss_bad = 0.95;
+  w.net.faults().set_burst_loss(w.lan, spec);
+
+  w.bridge();
+  w.camera->shutter(Bytes(30000, 0xD8), "bursty.jpg");
+  w.sched.run_for(seconds(3));
+  ASSERT_EQ(w.tv->rendered().size(), 1u);
+  EXPECT_EQ(w.tv->rendered()[0].bytes, 30000u);
+
+  // Let a couple of directory refresh cycles multicast through the loss chain.
+  w.sched.run_for(seconds(21));
+  EXPECT_GT(w.net.faults().burst_losses(), 0u);
+  EXPECT_EQ(w.counter("fault.burst_losses"), w.net.faults().burst_losses());
+  // Soft state survives: losses delay but do not kill refreshes within 30 s.
+  EXPECT_EQ(w.h1->directory().lookup(core::Query().platform("upnp")).size(), 1u);
+  EXPECT_EQ(w.h2->directory().lookup(core::Query().platform("bluetooth")).size(), 1u);
+  finish(w, rec);
+}
+
+TEST(ChaosTest, BurstLossNeverStallsTheBridge) {
+  RunRecord a, b;
+  ASSERT_NO_FATAL_FAILURE(burst_loss_scenario(&a));
+  ASSERT_NO_FATAL_FAILURE(burst_loss_scenario(&b));
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.telemetry, b.telemetry);
+}
+
+// --- fault-free worlds are untouched --------------------------------------------
+
+TEST(ChaosTest, FaultFreeWorldDrawsNothingFromTheFaultPlane) {
+  ChaosWorld w;
+  w.bridge();
+  w.camera->shutter(Bytes(5000, 0xD8), "clean.jpg");
+  w.sched.run_for(seconds(3));
+  ASSERT_EQ(w.tv->rendered().size(), 1u);
+  EXPECT_EQ(w.net.faults().partitions(), 0u);
+  EXPECT_EQ(w.net.faults().crashes(), 0u);
+  EXPECT_EQ(w.net.faults().streams_reset(), 0u);
+  EXPECT_EQ(w.net.faults().frames_blackholed(), 0u);
+  EXPECT_EQ(w.net.faults().burst_losses(), 0u);
+  // None of the fault/recovery counters may even exist in the snapshot: they
+  // register lazily at fault time, keeping fault-free telemetry byte-identical
+  // to a world built before the fault plane existed.
+  auto snap = w.net.metrics().snapshot();
+  for (const char* name :
+       {"fault.partitions", "fault.crashes", "fault.stream_resets", "fault.frames_blackholed",
+        "fault.burst_losses", "recovery.reconnects", "recovery.replays", "recovery.link_down",
+        "recovery.giveups", "recovery.outage_dropped"}) {
+    EXPECT_EQ(snap.find(name), nullptr) << name << " registered without a fault";
+  }
+}
+
+}  // namespace
+}  // namespace umiddle

@@ -182,6 +182,101 @@ TEST(HotpathEquivalenceTest, IndexedLookupMatchesLinearOracle) {
   EXPECT_GT(non_empty, 50u);
 }
 
+TEST(HotpathEquivalenceTest, IndexSurvivesExpireRepublishCrashInterleavings) {
+  // The PR-4 churn sources — soft-state expiry, tombstone-free republish under
+  // a recycled id, and whole-runtime crash/restart — all mutate profiles_ and
+  // shape_index_ through different paths. Interleave them randomly and assert
+  // the indexed lookup stays exactly equivalent to the linear oracle.
+  sim::Scheduler sched;
+  net::Network net(sched, 1);
+  net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+  for (const char* h : {"b", "ghost"}) {
+    ASSERT_TRUE(net.add_host(h).ok());
+    ASSERT_TRUE(net.attach(h, lan).ok());
+  }
+  core::RuntimeConfig cfg;
+  cfg.node_id = 1;
+  core::Runtime runtime(sched, net, "b", cfg);
+  core::Directory& dir = runtime.directory();
+  dir.set_max_age(sim::seconds(5));
+  ASSERT_TRUE(runtime.start().ok());
+  ASSERT_TRUE(net.join_group("ghost", cfg.group).ok());
+
+  Rng rng(0xC4A05);
+  constexpr std::uint64_t kGhostNodes = 4;    // 900..903
+  constexpr std::uint64_t kIdsPerNode = 5;
+
+  auto ghost_id = [&](std::uint64_t node, std::uint64_t k) {
+    return ((900 + node) << 32) | (1 + k);
+  };
+  auto forge_announce = [&](std::uint64_t node, std::uint64_t k) {
+    core::TranslatorProfile p = random_profile(ghost_id(node, k), rng);
+    p.node = NodeId(900 + node);
+    xml::Element adv("umiddle-adv");
+    adv.set_attr("type", "announce");
+    adv.set_attr("node", std::to_string(900 + node));
+    adv.set_attr("host", "ghost");
+    adv.set_attr("umtp-port", "7701");
+    adv.add_child(p.to_xml());
+    ASSERT_TRUE(net.udp_multicast({"ghost", cfg.directory_port}, cfg.group,
+                                  cfg.directory_port, to_bytes(adv.to_string()))
+                    .ok());
+  };
+  auto forge_bye = [&](std::uint64_t node, std::uint64_t k) {
+    xml::Element bye("umiddle-adv");
+    bye.set_attr("type", "bye");
+    bye.set_attr("node", std::to_string(900 + node));
+    bye.set_attr("host", "ghost");
+    bye.set_attr("umtp-port", "7701");
+    bye.set_attr("translator-id", std::to_string(ghost_id(node, k)));
+    ASSERT_TRUE(net.udp_multicast({"ghost", cfg.directory_port}, cfg.group,
+                                  cfg.directory_port, to_bytes(bye.to_string()))
+                    .ok());
+  };
+
+  std::size_t non_empty = 0;
+  for (int round = 0; round < 120; ++round) {
+    const std::size_t ops = rng.between(1, 4);
+    for (std::size_t op = 0; op < ops; ++op) {
+      switch (rng.below(6)) {
+        case 0:  // remote announce (fresh, refresh, or recycled-id rebind)
+        case 1:
+          forge_announce(rng.below(kGhostNodes), rng.below(kIdsPerNode));
+          break;
+        case 2:  // remote bye (possibly for an unknown id — must be a no-op)
+          forge_bye(rng.below(kGhostNodes), rng.below(kIdsPerNode));
+          break;
+        case 3:  // local publish/republish under a small recycled id pool
+          dir.publish_local(random_profile((1ull << 32) | (1 + rng.below(6)), rng));
+          break;
+        case 4:  // local withdraw (possibly of an unknown id)
+          dir.withdraw_local(TranslatorId((1ull << 32) | (1 + rng.below(6))));
+          break;
+        default:  // soft-state expiry of everything remote not re-announced
+          sched.run_for(sim::seconds(6));
+          break;
+      }
+    }
+    sched.run_for(sim::milliseconds(50));  // deliver forged datagrams
+
+    if (round % 40 == 39) {  // process death wipes both map and index
+      runtime.crash();
+      ASSERT_EQ(dir.known_translators(), 0u);
+      ASSERT_TRUE(runtime.start().ok());
+    }
+
+    for (int trial = 0; trial < 4; ++trial) {
+      core::Query q = random_query(rng);
+      auto indexed = ids_of(dir.lookup(q));
+      auto linear = ids_of(dir.lookup_linear(q));
+      ASSERT_EQ(indexed, linear) << "divergence at round " << round;
+      ASSERT_TRUE(std::is_sorted(indexed.begin(), indexed.end()));
+      if (!indexed.empty()) ++non_empty;
+    }
+  }
+  EXPECT_GT(non_empty, 30u);  // the interleaving must exercise real hits
+}
+
 // --- 2. lazy-deletion scheduler vs the seed scheduler ---------------------------
 
 /// The seed's scheduler algorithm, kept bit-for-bit as a behavioral oracle:

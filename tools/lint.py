@@ -25,6 +25,10 @@ exist to keep nondeterminism from leaking back in:
                must be [[nodiscard]] (belt and braces on top of the
                class-level [[nodiscard]]: the annotation survives even if the
                class attribute is ever lost, and documents intent at the API).
+  fault-loss   no direct mutation of a segment's `.loss` field outside
+               src/netsim/fault.cpp: packet loss (like every injected fault)
+               goes through net.faults().set_loss()/set_burst_loss() so the
+               FaultPlane's introspection counters stay authoritative.
   range-copy   no by-value `for (auto x : ...)` range-for loops in src/: an
                `auto` loop variable deep-copies every element (profiles,
                frames, std::function events), which is exactly the class of
@@ -136,6 +140,14 @@ NODISCARD_RE = re.compile(r"\[\[nodiscard\]\]")
 RANGE_FOR_COPY_RE = re.compile(
     r"\bfor\s*\(\s*(?:const\s+)?auto\s+(?![&*])[A-Za-z_\[][^;()]*?(?<!:):(?!:)")
 
+# Loss (and fault state generally) is owned by the per-world FaultPlane: a
+# direct write to a SegmentSpec's `.loss` field bypasses the fault plane's
+# introspection counters and its determinism accounting, so injected faults
+# would not show up in fault.* metrics or the chaos tests' same-seed replay.
+# fault.cpp itself is the single sanctioned writer.
+FAULT_LOSS_RE = re.compile(r"\.\s*loss\s*=(?!=)")
+FAULT_LOSS_ALLOWLIST = {"src/netsim/fault.cpp"}
+
 # Telemetry instruments must be per-world (owned by net::Network): a `static`
 # or `inline` variable — or a static/inline accessor returning one — would be
 # shared across worlds in one process, so a second same-seed run would observe
@@ -213,6 +225,17 @@ def check_range_for_copy(path: str, code: str) -> Iterable[Violation]:
                             "`auto&&` when mutating)")
 
 
+def check_fault_loss(path: str, code: str) -> Iterable[Violation]:
+    if path in FAULT_LOSS_ALLOWLIST:
+        return
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if FAULT_LOSS_RE.search(line):
+            yield Violation("fault-loss", path, lineno,
+                            "direct segment loss mutation; go through "
+                            "net.faults().set_loss()/set_burst_loss() so the "
+                            "fault plane's accounting stays authoritative")
+
+
 def check_global_telemetry(path: str, code: str) -> Iterable[Violation]:
     for lineno, line in enumerate(code.splitlines(), 1):
         if GLOBAL_TELEMETRY_RE.search(line):
@@ -230,6 +253,7 @@ CHECKS: list[Callable[[str, str], Iterable[Violation]]] = [
     check_new_delete,
     check_nodiscard,
     check_range_for_copy,
+    check_fault_loss,
     check_global_telemetry,
 ]
 
@@ -277,6 +301,8 @@ SEEDED_VIOLATIONS = [
      "for (auto profile : profiles_) { use(profile); }\n"),
     ("range-copy", "src/core/evil.cpp",
      "for (const auto [k, v] : meta_) { use(k, v); }\n"),
+    ("fault-loss", "src/netsim/evil.cpp",
+     "segments_.at(seg).spec.loss = 0.5;\n"),
     ("global-telemetry", "src/core/evil.cpp",
      "static obs::MetricsRegistry g_registry;\n"),
     ("global-telemetry", "src/obs/evil.hpp",
@@ -300,6 +326,10 @@ CLEAN_SNIPPETS = [
      "obs::Counter& udp_datagrams_;\n"
      "obs::Histogram connect_rtt{latency_bounds_ns()};\n"
      "auto n = static_cast<std::uint64_t>(counter.value());\n"),
+    ("src/netsim/fine.cpp",
+     "double loss = spec.loss;\n"
+     "if (spec.loss == 0.0) { return; }\n"
+     "net_.faults().set_loss(segment_, loss);\n"),
     ("src/core/fine.cpp",
      "for (const auto& p : profiles_) { use(p); }\n"
      "for (auto& [k, v] : meta_) { use(k, v); }\n"
