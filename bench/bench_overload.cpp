@@ -1,0 +1,255 @@
+// Overload shedding and the delivery contract (DESIGN.md §11).
+//
+// Ablation C reproduced the paper's translation-buffer accumulation and showed
+// that a bound caps memory. This bench characterises *how* a bounded path
+// degrades under sustained 10x overload, per shedding policy:
+//
+//   1. Shedding under overload: a fast source feeds a slow sink through a
+//      bounded buffer. drop_newest/drop_oldest/latest_only trade which
+//      messages die; block applies backpressure to the producer and never
+//      drops. The table shows delivered/shed counts, buffer high-water and
+//      delivery latency — latest_only must be the freshest (lowest latency),
+//      block must deliver 100% of what the producer offered.
+//
+//   2. Deadlines under overload: the same contest with a per-path message TTL.
+//      Queue wait exceeds the deadline for deep queues, so stale messages are
+//      expired by the transport instead of delivered late — including under
+//      block, where the deadline contract caps staleness that backpressure
+//      alone cannot (the producer's accepted backlog still queues).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/umiddle.hpp"
+#include "obs_util.hpp"
+
+namespace {
+
+using namespace umiddle;
+
+constexpr std::size_t kMessage = 1400;
+
+/// Sink with a fixed per-message service time; records delivery latency
+/// (virtual emit-to-deliver) and the highest source sequence number seen.
+class SlowSink final : public core::Translator {
+ public:
+  SlowSink(sim::Scheduler& sched, sim::Duration service_time)
+      : Translator("SlowSink", "umiddle", "umiddle:sink",
+                   core::make_sink_shape("in", MimeType::of("application/octet-stream"))),
+        sched_(sched), service_time_(service_time) {}
+
+  Result<void> deliver(const std::string&, const core::Message& msg) override {
+    ++delivered;
+    const auto it = msg.meta.find("t0");
+    if (it != msg.meta.end()) {
+      latencies_ns.push_back(sched_.now().count() - std::stoll(it->second));
+    }
+    if (const auto n = msg.meta.find("n"); n != msg.meta.end()) {
+      last_n = std::stoll(n->second);
+    }
+    busy_ = true;
+    sched_.schedule_after(service_time_, [this]() {
+      busy_ = false;
+      if (mapped()) runtime()->notify_ready(profile().id);
+    });
+    return ok_result();
+  }
+  bool ready(const std::string&) const override { return !busy_; }
+
+  double mean_latency_ms() const {
+    if (latencies_ns.empty()) return 0;
+    long long sum = 0;
+    for (long long v : latencies_ns) sum += v;
+    return static_cast<double>(sum) / static_cast<double>(latencies_ns.size()) / 1e6;
+  }
+
+  std::uint64_t delivered = 0;
+  long long last_n = -1;
+  std::vector<long long> latencies_ns;
+
+ private:
+  sim::Scheduler& sched_;
+  sim::Duration service_time_;
+  bool busy_ = false;
+};
+
+struct Outcome {
+  std::uint64_t offered = 0;    ///< distinct messages the producer created
+  std::uint64_t delivered = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t blocked = 0;    ///< refused emit attempts (block backpressure)
+  std::size_t max_buffered = 0;
+  double mean_latency_ms = 0;
+  long long last_n = -1;
+};
+
+const char* policy_name(core::ShedPolicy p) {
+  switch (p) {
+    case core::ShedPolicy::drop_newest: return "drop_newest";
+    case core::ShedPolicy::drop_oldest: return "drop_oldest";
+    case core::ShedPolicy::latest_only: return "latest_only";
+    case core::ShedPolicy::block: return "block";
+  }
+  return "?";
+}
+
+/// One source emitting `total` messages at 1 msg/ms (1.4 MB/s) into a sink
+/// that services 1 msg/10ms (0.14 MB/s): a sustained 10x overload. A refused
+/// emit (block policy) is retried next tick without advancing the sequence, so
+/// the producer's offered count is the same for every policy.
+Outcome run(const core::QosPolicy& policy, int total, std::string_view scenario) {
+  sim::Scheduler sched;
+  net::Network net(sched);
+  net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+  (void)net.add_host("node");
+  (void)net.attach("node", lan);
+  core::Runtime runtime(sched, net, "node");
+  (void)runtime.start();
+
+  auto source = std::make_unique<core::LambdaDevice>(
+      "Source", core::make_source_shape("out", MimeType::of("application/octet-stream")));
+  core::LambdaDevice* source_raw = source.get();
+  auto source_id = runtime.map(std::move(source)).take();
+  auto sink = std::make_unique<SlowSink>(sched, sim::milliseconds(10));
+  SlowSink* sink_raw = sink.get();
+  auto sink_id = runtime.map(std::move(sink)).take();
+  sched.run_for(sim::seconds(1));
+
+  auto path = runtime.transport()
+                  .connect(core::PortRef{source_id, "out"}, core::PortRef{sink_id, "in"}, policy)
+                  .take();
+
+  Outcome out;
+  struct Pump {
+    core::LambdaDevice* source;
+    sim::Scheduler& sched;
+    Outcome& out;
+    int total;
+    void operator()() const {
+      if (out.offered >= static_cast<std::uint64_t>(total)) return;
+      core::Message msg;
+      msg.type = MimeType::of("application/octet-stream");
+      msg.payload = Bytes(kMessage);
+      msg.meta["n"] = std::to_string(out.offered);
+      msg.meta["t0"] = std::to_string(sched.now().count());
+      if (source->emit("out", std::move(msg)).ok()) {
+        out.offered += 1;
+      } else {
+        out.blocked += 1;  // backpressure: same sequence number retried
+      }
+      sched.schedule_after(sim::milliseconds(1), Pump{source, sched, out, total});
+    }
+  };
+  sched.post(Pump{source_raw, sched, out, total});
+  // Generation takes `total` ms plus any backpressure stalls (block stretches
+  // it to the sink's rate); then drain whatever is still buffered.
+  sched.run_for(sim::milliseconds(12 * total) + sim::seconds(30));
+
+  const core::PathStats* stats = runtime.transport().stats(path);
+  out.delivered = sink_raw->delivered;
+  out.shed = stats->messages_shed;
+  out.expired = stats->messages_expired;
+  out.max_buffered = stats->max_buffered_bytes;
+  out.mean_latency_ms = sink_raw->mean_latency_ms();
+  out.last_n = sink_raw->last_n;
+  benchobs::record(std::string("overload_") + std::string(scenario), net);
+  return out;
+}
+
+core::QosPolicy make_policy(core::ShedPolicy shed, std::size_t cap_bytes,
+                            std::optional<sim::Duration> ttl) {
+  core::QosPolicy policy;
+  policy.max_buffered_bytes = cap_bytes;
+  policy.shed = shed;
+  policy.message_ttl = ttl;
+  return policy;
+}
+
+constexpr std::array kPolicies = {core::ShedPolicy::drop_newest, core::ShedPolicy::drop_oldest,
+                                  core::ShedPolicy::latest_only, core::ShedPolicy::block};
+
+void print_row(core::ShedPolicy shed, const Outcome& o, const char* note) {
+  std::printf("%-12s %8llu %10llu %8llu %9llu %9llu %12.1f %10.1f %8lld   %s\n",
+              policy_name(shed), static_cast<unsigned long long>(o.offered),
+              static_cast<unsigned long long>(o.delivered),
+              static_cast<unsigned long long>(o.shed),
+              static_cast<unsigned long long>(o.expired),
+              static_cast<unsigned long long>(o.blocked),
+              static_cast<double>(o.max_buffered) / 1e3, o.mean_latency_ms, o.last_n, note);
+}
+
+const char* shed_note(core::ShedPolicy shed) {
+  switch (shed) {
+    case core::ShedPolicy::drop_newest: return "<- tail drop: stale survivors";
+    case core::ShedPolicy::drop_oldest: return "<- head drop: recency wins";
+    case core::ShedPolicy::latest_only: return "<- freshest only";
+    case core::ShedPolicy::block: return "<- backpressure: 100% delivered";
+  }
+  return "";
+}
+
+void print_tables() {
+  std::printf("\n=== Overload: shedding policies and the delivery contract (DESIGN.md §11) ===\n");
+
+  std::printf("\nScenario 1 — 10x overload, 16 kB buffer, no deadline (2000 offered)\n");
+  std::printf("%-12s %8s %10s %8s %9s %9s %12s %10s %8s\n", "policy", "offered", "delivered",
+              "shed", "expired", "blocked", "high-water", "mean-lat", "last-n");
+  for (core::ShedPolicy shed : kPolicies) {
+    Outcome o = run(make_policy(shed, 16 * 1024, std::nullopt), 2000,
+                    std::string("shed_") + policy_name(shed));
+    print_row(shed, o, shed_note(shed));
+  }
+
+  std::printf("\nScenario 2 — same overload with a 60 ms per-path deadline (2000 offered)\n");
+  std::printf("%-12s %8s %10s %8s %9s %9s %12s %10s %8s\n", "policy", "offered", "delivered",
+              "shed", "expired", "blocked", "high-water", "mean-lat", "last-n");
+  for (core::ShedPolicy shed : kPolicies) {
+    Outcome o = run(make_policy(shed, 16 * 1024, sim::milliseconds(60)), 2000,
+                    std::string("deadline_") + policy_name(shed));
+    print_row(shed, o, "<- stale messages expire, never delivered late");
+  }
+  std::printf("\n");
+}
+
+void BM_Shed(benchmark::State& state, core::ShedPolicy shed, bool deadline) {
+  Outcome o;
+  for (auto _ : state) {
+    o = run(make_policy(shed, 16 * 1024,
+                        deadline ? std::optional(sim::milliseconds(60)) : std::nullopt),
+            2000, "bm");
+    state.SetIterationTime(1.0);
+  }
+  state.counters["delivered"] = static_cast<double>(o.delivered);
+  state.counters["shed"] = static_cast<double>(o.shed);
+  state.counters["expired"] = static_cast<double>(o.expired);
+  state.counters["max_buffer_kB"] = static_cast<double>(o.max_buffered) / 1e3;
+  state.counters["mean_lat_ms"] = o.mean_latency_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  umiddle::benchobs::strip_metrics_flag(argc, argv);
+  print_tables();
+  for (umiddle::core::ShedPolicy shed : kPolicies) {
+    for (bool deadline : {false, true}) {
+      std::string name = std::string("Overload/") + policy_name(shed) +
+                         (deadline ? "/deadline" : "/plain");
+      benchmark::RegisterBenchmark(name.c_str(), [shed, deadline](benchmark::State& s) {
+        BM_Shed(s, shed, deadline);
+      })->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  umiddle::benchobs::write_recorded();
+  return 0;
+}

@@ -20,6 +20,12 @@ struct Message {
   /// untraced. Never serialized into UMTP frames — wire bytes are part of the
   /// simulated experiment, so the id crosses nodes side-band (tracer baggage).
   std::uint64_t trace = 0;
+  /// Absolute virtual-time deadline in nanoseconds; 0 = none. Unlike `trace`
+  /// this IS part of the delivery contract, so it rides the UMTP header (a
+  /// DATA_DL frame) and both ends drop the message once it expires instead of
+  /// forwarding stale data (DESIGN.md §11). Messages without a deadline
+  /// serialize exactly as before.
+  std::int64_t deadline_ns = 0;
 
   static Message text(MimeType type, std::string_view body) {
     return Message{std::move(type), to_bytes(body), {}};

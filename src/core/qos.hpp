@@ -5,8 +5,8 @@
 // \[accumulates\] in the uMiddle's translation buffer. Therefore, the universal
 // interoperability layer should provide some QoS control mechanism." This module
 // implements that future work: a token-bucket rate shaper plus a bounded
-// translation buffer per path, with accounting that the QoS ablation bench uses
-// to reproduce the accumulation effect.
+// translation buffer per path with a pluggable shedding policy, and accounting
+// that the QoS ablation bench uses to reproduce the accumulation effect.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +16,24 @@
 
 namespace umiddle::core {
 
+/// What to do when a bounded translation buffer is full and another message
+/// arrives (DESIGN.md §11). Degradation is a per-path choice because it is a
+/// semantic one: an actuation command must not be silently dropped, while a
+/// sensor stream only ever needs its freshest sample.
+enum class ShedPolicy : std::uint8_t {
+  /// Tail drop: refuse the incoming message (the paper-era behaviour; default).
+  drop_newest,
+  /// Head drop: evict the oldest queued message(s) to make room.
+  drop_oldest,
+  /// Coalesce: queued messages for the same destination are superseded by the
+  /// newcomer, then spill into oldest-first eviction. For media/sensor streams
+  /// where only the latest value matters.
+  latest_only,
+  /// Backpressure, never drop: the whole emit is refused with would-block and
+  /// the producer retries. For actions/commands.
+  block,
+};
+
 /// Per-path policy. Default-constructed policy = no shaping, unbounded buffer
 /// (the behaviour of the paper's base system).
 struct QosPolicy {
@@ -23,11 +41,18 @@ struct QosPolicy {
   std::optional<double> rate_bytes_per_sec;
   /// Bucket depth: how much burst may pass at line rate.
   std::size_t burst_bytes = 16 * 1024;
-  /// Translation-buffer bound; 0 = unbounded.
-  std::size_t max_buffered_bytes = 0;
+  /// Translation-buffer bound; unset = unbounded. 0 is a genuine zero-capacity
+  /// buffer (every message sheds or blocks).
+  std::optional<std::size_t> max_buffered_bytes;
+  /// Applied when the bounded buffer fills.
+  ShedPolicy shed = ShedPolicy::drop_newest;
+  /// If set, a message entering this path without its own deadline gets
+  /// deadline = emit time + ttl; expired messages are dropped (and never
+  /// replayed) instead of being forwarded stale.
+  std::optional<sim::Duration> message_ttl;
 
   bool shaped() const { return rate_bytes_per_sec.has_value(); }
-  bool bounded() const { return max_buffered_bytes != 0; }
+  bool bounded() const { return max_buffered_bytes.has_value(); }
 };
 
 /// Token bucket over virtual time.

@@ -132,8 +132,9 @@ Result<void> Runtime::route_emit(const PortRef& src, Message msg) {
   // Telemetry ingress: every message entering the intermediary space carries a
   // trace id from here on (kept if the emitter already attributed one).
   if (msg.trace == 0) msg.trace = net_.tracer().new_trace();
-  transport_->route(src, msg);
-  return ok_result();
+  // A Block-policy path may refuse the emit with would-block (Errc::
+  // buffer_overflow); the producer is expected to retry (DESIGN.md §11).
+  return transport_->route(src, msg);
 }
 
 void Runtime::notify_ready(TranslatorId id) { transport_->notify_ready(id); }

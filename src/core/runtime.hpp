@@ -58,6 +58,21 @@ struct RuntimeConfig {
   /// graceful degradation: bounded-buffer during the outage, dropped-with-
   /// counter after).
   std::size_t outage_buffer_bytes = 128 * 1024;
+
+  // --- end-to-end delivery contract (DESIGN.md §11) ---------------------------
+  // Like the reconnect knobs, these only change behaviour once a fault or a
+  // delivery failure occurs; fault-free worlds never touch them.
+  /// Bytes of already-sent, unacknowledged frames each link retains for
+  /// selective replay after a reset, on top of the stream's own unsent queue
+  /// (which is always retained — those bytes are exactly what a reset loses).
+  std::size_t retain_buffer_bytes = 128 * 1024;
+  /// Consecutive local delivery failures on one destination translator before
+  /// its circuit breaker opens (closed → open → half-open probe); 0 disables
+  /// the breaker entirely.
+  int breaker_failure_threshold = 5;
+  /// Delay before an open breaker half-opens for a probe; jittered by up to
+  /// half with the world Rng (drawn only on the failure path).
+  sim::Duration breaker_probe_delay = sim::milliseconds(500);
 };
 
 class Runtime {

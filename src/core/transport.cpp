@@ -49,6 +49,9 @@ void Transport::stop() {
   for (auto& stream : peers) stream->close();
   paths_.clear();
   remote_paths_.clear();
+  recv_links_.clear();
+  recv_home_.clear();
+  breakers_.clear();
   started_ = false;
 }
 
@@ -65,6 +68,9 @@ void Transport::crash() {
   peer_streams_.clear();
   paths_.clear();
   remote_paths_.clear();
+  recv_links_.clear();
+  recv_home_.clear();
+  breakers_.clear();
   started_ = false;
 }
 
@@ -210,7 +216,24 @@ std::vector<PortRef> Transport::bound_destinations(PathId id) const {
 
 // --- routing ----------------------------------------------------------------------
 
-void Transport::route(const PortRef& src, const Message& msg) {
+Result<void> Transport::route(const PortRef& src, const Message& msg) {
+  // Block-policy admission first, and all-or-nothing: if any Block path's
+  // buffer cannot take the whole fan-out, the emit is refused before anything
+  // is enqueued anywhere — a retried emit must never double-deliver to the
+  // paths that had room.
+  for (auto& [id, path] : paths_) {
+    if (!(path.src == src)) continue;
+    if (path.qos.shed != ShedPolicy::block || !path.qos.bounded() || path.bound.empty()) continue;
+    const std::size_t need = msg.payload.size() * path.bound.size();
+    if (path.stats.buffered_bytes + need > *path.qos.max_buffered_bytes) {
+      path.stats.messages_blocked += 1;
+      runtime_.network().metrics().counter("delivery.blocked").inc();
+      runtime_.network().tracer().instant(msg.trace, "deliver.blocked", runtime_.host(),
+                                          runtime_.scheduler().now());
+      return make_error(Errc::buffer_overflow,
+                        "translation buffer full (Block policy): " + id.to_string());
+    }
+  }
   // One shared copy serves every path and destination the message fans out to
   // (created lazily: most emits hit exactly one path).
   std::shared_ptr<const Message> shared;
@@ -221,22 +244,89 @@ void Transport::route(const PortRef& src, const Message& msg) {
       enqueue(path, dst, shared);
     }
   }
+  return ok_result();
 }
 
 void Transport::enqueue(Path& path, const PortRef& dst, const std::shared_ptr<const Message>& msg) {
   const std::size_t bytes = msg->payload.size();
-  if (path.qos.bounded() &&
-      path.stats.buffered_bytes + bytes > path.qos.max_buffered_bytes) {
-    path.stats.messages_dropped += 1;
-    msgs_dropped_.inc();
+  const sim::TimePoint now = runtime_.scheduler().now();
+  // Effective deadline: the message's own, or the path TTL stamped at emit.
+  std::int64_t deadline_ns = msg->deadline_ns;
+  if (deadline_ns == 0 && path.qos.message_ttl) {
+    deadline_ns = (now + *path.qos.message_ttl).count();
+  }
+  if (deadline_ns != 0 && now.count() >= deadline_ns) {
+    path.stats.messages_expired += 1;
+    runtime_.network().metrics().counter("delivery.expired").inc();
+    runtime_.network().tracer().instant(msg->trace, "deliver.expired", runtime_.host(), now);
     return;
   }
+  if (path.qos.bounded() &&
+      path.stats.buffered_bytes + bytes > *path.qos.max_buffered_bytes &&
+      !shed_for_room(path, dst, bytes)) {
+    return;  // the incoming message was shed (or defensively blocked)
+  }
   msgs_enqueued_.inc();
-  path.queue.push_back(Pending{dst, msg});
+  path.queue.push_back(Pending{dst, msg, deadline_ns});
   path.stats.buffered_bytes += bytes;
   path.stats.max_buffered_bytes =
       std::max(path.stats.max_buffered_bytes, path.stats.buffered_bytes);
   drain(path);
+}
+
+bool Transport::shed_for_room(Path& path, const PortRef& dst, std::size_t bytes) {
+  obs::MetricsRegistry& metrics = runtime_.network().metrics();
+  const std::size_t cap = *path.qos.max_buffered_bytes;
+  auto count_shed = [&](const char* counter) {
+    path.stats.messages_dropped += 1;
+    path.stats.messages_shed += 1;
+    msgs_dropped_.inc();
+    metrics.counter(counter).inc();
+  };
+  auto evict = [&](const Pending& victim, const char* counter) {
+    path.stats.buffered_bytes -= victim.msg->payload.size();
+    count_shed(counter);
+  };
+  switch (path.qos.shed) {
+    case ShedPolicy::drop_newest:
+      // Tail drop: the legacy bounded-buffer behaviour, plus accounting.
+      count_shed("delivery.shed_newest");
+      return false;
+    case ShedPolicy::block:
+      // route() refuses Block emits up front with fan-out-aware accounting;
+      // reaching here would mean the buffer filled between admission and
+      // enqueue. Refuse without dropping anything, defensively.
+      path.stats.messages_blocked += 1;
+      metrics.counter("delivery.blocked").inc();
+      return false;
+    case ShedPolicy::drop_oldest:
+      while (!path.queue.empty() && path.stats.buffered_bytes + bytes > cap) {
+        evict(path.queue.front(), "delivery.shed_oldest");
+        path.queue.pop_front();
+      }
+      break;
+    case ShedPolicy::latest_only:
+      // Coalesce: the newcomer supersedes everything queued for the same
+      // destination, then spills into oldest-first eviction if still over.
+      std::erase_if(path.queue, [&](const Pending& p) {
+        if (!(p.dst == dst)) return false;
+        evict(p, "delivery.shed_latest");
+        return true;
+      });
+      while (!path.queue.empty() && path.stats.buffered_bytes + bytes > cap) {
+        evict(path.queue.front(), "delivery.shed_latest");
+        path.queue.pop_front();
+      }
+      break;
+  }
+  if (path.stats.buffered_bytes + bytes > cap) {
+    // The queue is empty and the message alone exceeds the bound (zero or
+    // tiny capacity): shed the newcomer itself.
+    count_shed(path.qos.shed == ShedPolicy::latest_only ? "delivery.shed_latest"
+                                                        : "delivery.shed_oldest");
+    return false;
+  }
+  return true;
 }
 
 bool Transport::destination_ready(const PortRef& dst) const {
@@ -250,12 +340,24 @@ bool Transport::destination_ready(const PortRef& dst) const {
   }
   // Remote delivery: pause while the link's unsent backlog is high.
   auto it = links_.find(profile->node);
-  if (it == links_.end() || !it->second.connected) return true;  // outbox absorbs
+  if (it == links_.end() || !link_ready(it->second)) return true;  // ledger absorbs
   return it->second.stream->pending() < kLinkWatermark;
 }
 
 void Transport::drain(Path& path) {
   if (path.drain_scheduled) return;
+  // Expired messages never leave the buffer: retire them before considering
+  // shaping or backpressure, so a stalled destination cannot pin stale data.
+  while (!path.queue.empty()) {
+    const Pending& front = path.queue.front();
+    if (front.deadline_ns == 0 || runtime_.scheduler().now().count() < front.deadline_ns) break;
+    path.stats.buffered_bytes -= front.msg->payload.size();
+    path.stats.messages_expired += 1;
+    runtime_.network().metrics().counter("delivery.expired").inc();
+    runtime_.network().tracer().instant(front.msg->trace, "deliver.expired", runtime_.host(),
+                                        runtime_.scheduler().now());
+    path.queue.pop_front();
+  }
   if (path.queue.empty()) return;
 
   Pending& front = path.queue.front();
@@ -318,16 +420,33 @@ void Transport::schedule_drain(PathId id, sim::Duration delay) {
 }
 
 void Transport::dispatch(Path& path, Pending item) {
+  const sim::TimePoint now = runtime_.scheduler().now();
+  obs::Tracer& tracer = runtime_.network().tracer();
+  // The deadline may have passed while the translation cost was being charged.
+  if (item.deadline_ns != 0 && now.count() >= item.deadline_ns) {
+    path.stats.messages_expired += 1;
+    runtime_.network().metrics().counter("delivery.expired").inc();
+    tracer.instant(item.msg->trace, "deliver.expired", runtime_.host(), now);
+    return;
+  }
   const TranslatorProfile* profile = runtime_.directory().profile(item.dst.translator);
   if (profile == nullptr) {
     path.stats.messages_dropped += 1;
     msgs_dropped_.inc();
     return;
   }
+  if (profile->node == runtime_.node() && !breaker_allows(item.dst.translator)) {
+    // Quarantined: the destination's native side keeps failing; fail fast
+    // instead of soaking retries until the half-open probe clears it.
+    path.stats.messages_dropped += 1;
+    msgs_dropped_.inc();
+    runtime_.network().metrics().counter("delivery.breaker_dropped").inc();
+    tracer.instant(item.msg->trace, "deliver.quarantined", runtime_.host(), now);
+    return;
+  }
   path.stats.messages_forwarded += 1;
   path.stats.bytes_forwarded += item.msg->payload.size();
   msgs_forwarded_.inc();
-  obs::Tracer& tracer = runtime_.network().tracer();
 
   if (profile->node == runtime_.node()) {
     Translator* t = runtime_.translator(item.dst.translator);
@@ -336,11 +455,14 @@ void Transport::dispatch(Path& path, Pending item) {
       msgs_dropped_.inc();
       return;
     }
-    tracer.instant(item.msg->trace, "deliver", runtime_.host(), runtime_.scheduler().now());
+    tracer.instant(item.msg->trace, "deliver", runtime_.host(), now);
     if (auto r = t->deliver(item.dst.port, *item.msg); !r.ok()) {
       deliver_failures_.inc();
+      breaker_record(item.dst.translator, false);
       log::Entry(log::Level::warn, "transport")
           << "deliver to " << item.dst.to_string() << " failed: " << r.error().to_string();
+    } else {
+      breaker_record(item.dst.translator, true);
     }
     return;
   }
@@ -357,22 +479,76 @@ void Transport::dispatch(Path& path, Pending item) {
   // keyed by our client stream id — never inside the frame, whose byte count
   // drives simulated serialization time (obs/trace.hpp header comment).
   data_frames_tx_.inc();
-  if (link->stream != nullptr) {
-    const std::uint64_t span = tracer.begin_span(item.msg->trace, "wire", runtime_.host(),
-                                                 runtime_.scheduler().now());
+  if (link->stream != nullptr && !link->reconnecting && !link->awaiting_ack) {
+    const std::uint64_t span = tracer.begin_span(item.msg->trace, "wire", runtime_.host(), now);
     tracer.stage(link->stream->id().value(), item.msg->trace, span);
   }
-  // else: link down mid-outage. The frame joins the bounded outage buffer and
-  // is replayed on a *new* stream after reconnect; baggage staged on the dead
-  // stream id would never be claimed, so replayed frames lose trace
-  // attribution (documented in DESIGN.md §10).
-  link_send(*link, umtp::encode_data(item.dst, *item.msg));
+  // else: link down or mid-recovery. The frame joins the bounded outage buffer
+  // and is replayed SEQ-wrapped on a *new* stream after the RESUME/ACK
+  // handshake; baggage staged now would never pair with the replay, so
+  // replayed frames lose trace attribution (documented in DESIGN.md §10).
+  link_send(*link, umtp::encode_data(item.dst, *item.msg, item.deadline_ns), item.deadline_ns);
 }
 
 void Transport::notify_ready(TranslatorId) { resume_paths(); }
 
 void Transport::resume_paths() {
   for (auto& [id, path] : paths_) drain(path);
+}
+
+// --- circuit breaker -----------------------------------------------------------
+
+bool Transport::breaker_allows(TranslatorId id) const {
+  auto it = breakers_.find(id);
+  return it == breakers_.end() || it->second.state != Breaker::State::open;
+}
+
+void Transport::breaker_record(TranslatorId id, bool ok) {
+  if (runtime_.config().breaker_failure_threshold <= 0) return;  // disabled
+  if (ok) {
+    auto it = breakers_.find(id);
+    if (it == breakers_.end()) return;
+    if (it->second.state == Breaker::State::half_open) {
+      runtime_.network().metrics().counter("delivery.breaker_closed").inc();
+      log::Entry(log::Level::info, "transport")
+          << "breaker for " << id.to_string() << " closed after successful probe";
+    }
+    breakers_.erase(it);  // any success fully resets the destination
+    return;
+  }
+  Breaker& b = breakers_[id];
+  b.failures += 1;
+  if (b.state == Breaker::State::half_open ||
+      (b.state == Breaker::State::closed &&
+       b.failures >= runtime_.config().breaker_failure_threshold)) {
+    open_breaker(id, b);
+  }
+}
+
+void Transport::open_breaker(TranslatorId id, Breaker& breaker) {
+  breaker.state = Breaker::State::open;
+  breaker.failures = 0;
+  obs::MetricsRegistry& metrics = runtime_.network().metrics();
+  metrics.counter("delivery.breaker_open").inc();
+  runtime_.network().tracer().instant(0, "deliver.breaker-open", runtime_.host(),
+                                      runtime_.scheduler().now());
+  log::Entry(log::Level::warn, "transport")
+      << "breaker for " << id.to_string() << " opened after "
+      << runtime_.config().breaker_failure_threshold << " consecutive delivery failures";
+  // Half-open after a jittered delay. The Rng draw happens only here, on the
+  // failure path, so breaker-free worlds draw nothing.
+  const std::int64_t base = runtime_.config().breaker_probe_delay.count();
+  const std::int64_t jitter = static_cast<std::int64_t>(
+      runtime_.network().rng().below(static_cast<std::uint64_t>(base / 2 + 1)));
+  runtime_.scheduler().schedule_after(
+      sim::Duration(base + jitter),
+      [this, id]() {
+        auto it = breakers_.find(id);
+        if (it == breakers_.end() || it->second.state != Breaker::State::open) return;
+        it->second.state = Breaker::State::half_open;
+        runtime_.network().metrics().counter("delivery.breaker_probes").inc();
+      },
+      {sim::host_id(runtime_.host()), sim::tag_id("umtp.breaker")});
 }
 
 // --- directory reactions ------------------------------------------------------------
@@ -414,6 +590,8 @@ void Transport::on_unmapped(const TranslatorProfile& profile) {
     });
     path.stats.buffered_bytes -= dropped_bytes;
   }
+  // The translator is gone; a recycled id must start with a clean slate.
+  breakers_.erase(profile.id);
 }
 
 // --- UMTP plumbing ---------------------------------------------------------------------
@@ -445,9 +623,35 @@ bool Transport::open_stream(NodeLink& link) {
   NodeId node = link.node;
   link.stream = stream.value();
   link.connected = false;
+  if (link.epoch == 0) {
+    // First stream of this link: its world-unique id doubles as the link
+    // epoch, and the peer's dedup count implicitly lives under it.
+    link.epoch = link.stream->id().value();
+    link.count_home = link.epoch;
+  }
   link.stream->on_connected([this, node]() { handle_link_up(node); });
   link.stream->on_drain([this]() { resume_paths(); });
   link.stream->on_close([this, node]() { handle_link_close(node); });
+  // ACKs come back on this (client) stream; fault-free links never carry any.
+  auto assembler = std::make_shared<umtp::FrameAssembler>();
+  net::Stream* raw = link.stream.get();
+  link.stream->on_data([this, node, raw, assembler](std::span<const std::uint8_t> chunk) {
+    std::vector<umtp::Frame> frames;
+    if (auto r = assembler->feed(chunk, frames); !r.ok()) {
+      log::Entry(log::Level::warn, "transport")
+          << "bad UMTP frame on link stream: " << r.error().to_string();
+      return;
+    }
+    for (umtp::Frame& f : frames) {
+      auto l = links_.find(node);
+      if (l == links_.end() || l->second.stream.get() != raw) return;  // stale stream
+      if (auto* ack = std::get_if<umtp::AckFrame>(&f)) {
+        handle_ack(l->second, *ack);
+      } else {
+        log::Entry(log::Level::warn, "transport") << "unexpected frame type on link stream";
+      }
+    }
+  });
   return true;
 }
 
@@ -456,29 +660,30 @@ void Transport::handle_link_up(NodeId node) {
   if (l == links_.end()) return;
   NodeLink& link = l->second;
   link.connected = true;
-  link.attempts = 0;
-  const bool recovered = link.reconnecting;
-  link.reconnecting = false;
-  const std::size_t replayed = link.outbox.size();
-  for (Bytes& frame : link.outbox) {
-    (void)link.stream->send(std::move(frame));
+  if (!link.reconnecting) {
+    // Initial handshake done: flush everything buffered, in order, as plain
+    // frames — byte-identical to the pre-contract outbox replay.
+    link.attempts = 0;
+    for (LinkEntry& e : link.ledger) {
+      if (e.sent) continue;
+      e.sent = true;
+      link.unsent_bytes -= e.frame->size();
+      link.sent_bytes += e.frame->size();
+      (void)link.stream->send(e.frame);
+    }
+    trim_retention(link);
+    return;
   }
-  link.outbox.clear();
-  link.outbox_bytes = 0;
-  if (!recovered) return;
-
-  obs::MetricsRegistry& metrics = runtime_.network().metrics();
-  metrics.counter("recovery.reconnects").inc();
-  metrics.counter("recovery.replays").inc(replayed);
-  runtime_.network().tracer().end_span(link.recover_span, runtime_.scheduler().now());
-  link.recover_span = 0;
-  log::Entry(log::Level::info, "transport")
-      << "link to node " << node.to_string() << " re-established, " << replayed
-      << " frame(s) replayed";
-  // The peer's soft state may have expired (or gone stale) during the outage:
-  // renew our leases immediately instead of waiting for the next refresh tick.
-  runtime_.directory().reannounce();
-  resume_paths();
+  // Fault recovery: ask the peer where we left off before replaying anything.
+  // Until its ACK arrives the link keeps buffering new traffic as unsent
+  // (outage semantics persist — reconnecting stays true).
+  link.awaiting_ack = true;
+  umtp::ResumeFrame resume;
+  resume.node = runtime_.node();
+  resume.epoch = link.epoch;
+  resume.prev_channel = link.count_home;
+  resume.base_seq = link.ledger.empty() ? link.next_seq + 1 : link.ledger.front().seq;
+  (void)link.stream->send(umtp::encode(umtp::Frame{resume}));
 }
 
 void Transport::handle_link_close(NodeId node) {
@@ -494,6 +699,7 @@ void Transport::handle_link_close(NodeId node) {
   }
   // Fault path: hold the link, buffer traffic, re-establish with backoff.
   link.connected = false;
+  link.awaiting_ack = false;  // a reset mid-handshake voids the pending RESUME
   link.stream = nullptr;
   if (!link.reconnecting) {
     link.reconnecting = true;
@@ -546,33 +752,145 @@ void Transport::give_up_link(NodeId node) {
   auto l = links_.find(node);
   if (l == links_.end()) return;
   NodeLink& link = l->second;
+  // Count only never-sent frames as outage drops: the sent-but-unacked prefix
+  // may well have been delivered before the cut.
+  const std::size_t unsent = static_cast<std::size_t>(
+      std::count_if(link.ledger.begin(), link.ledger.end(),
+                    [](const LinkEntry& e) { return !e.sent; }));
   obs::MetricsRegistry& metrics = runtime_.network().metrics();
   metrics.counter("recovery.giveups").inc();
-  metrics.counter("recovery.outage_dropped").inc(link.outbox.size());
-  msgs_dropped_.inc(link.outbox.size());
+  metrics.counter("recovery.outage_dropped").inc(unsent);
+  msgs_dropped_.inc(unsent);
   runtime_.network().tracer().end_span(link.recover_span, runtime_.scheduler().now());
   log::Entry(log::Level::warn, "transport")
       << "giving up on node " << node.to_string() << " after "
-      << runtime_.config().reconnect_max_attempts << " attempts; " << link.outbox.size()
+      << runtime_.config().reconnect_max_attempts << " attempts; " << unsent
       << " buffered frame(s) dropped";
   links_.erase(l);
 }
 
-void Transport::link_send(NodeLink& link, Bytes frame) {
-  if (!link.connected) {
-    // During a fault outage the outbox is a *bounded* degradation buffer;
-    // during the initial handshake it stays unbounded (pre-fault semantics).
+void Transport::link_send(NodeLink& link, Bytes frame, std::int64_t deadline_ns) {
+  LinkEntry e;
+  e.deadline_ns = deadline_ns;
+  e.frame = make_payload(std::move(frame));
+  const std::size_t size = e.frame->size();
+  if (!link_ready(link)) {
+    // During a fault outage the unsent ledger suffix is a *bounded*
+    // degradation buffer; during the initial handshake it stays unbounded
+    // (pre-fault semantics).
     if (link.reconnecting &&
-        link.outbox_bytes + frame.size() > runtime_.config().outage_buffer_bytes) {
+        link.unsent_bytes + size > runtime_.config().outage_buffer_bytes) {
       runtime_.network().metrics().counter("recovery.outage_dropped").inc();
       msgs_dropped_.inc();
       return;
     }
-    link.outbox_bytes += frame.size();
-    link.outbox.push_back(std::move(frame));
+    e.seq = ++link.next_seq;
+    link.unsent_bytes += size;
+    link.ledger.push_back(std::move(e));
     return;
   }
-  (void)link.stream->send(std::move(frame));
+  e.seq = ++link.next_seq;
+  e.sent = true;
+  link.sent_bytes += size;
+  (void)link.stream->send(e.frame);
+  link.ledger.push_back(std::move(e));
+  trim_retention(link);
+}
+
+void Transport::trim_retention(NodeLink& link) {
+  if (!link_ready(link)) return;
+  // Retain at least the stream's own unsent backlog — those bytes are exactly
+  // what a reset loses — plus the configured slack for frames already on the
+  // medium. Anything older has long been delivered on the lossless stream.
+  const std::size_t budget = runtime_.config().retain_buffer_bytes + link.stream->pending();
+  while (link.sent_bytes > budget && !link.ledger.empty() && link.ledger.front().sent) {
+    link.sent_bytes -= link.ledger.front().frame->size();
+    link.ledger.pop_front();
+  }
+}
+
+void Transport::handle_ack(NodeLink& link, const umtp::AckFrame& ack) {
+  if (ack.epoch != link.epoch) return;  // stale or forged incarnation
+  // The ACK confirms the peer migrated (or kept) its count under the stream
+  // that carried it — remember that as the next RESUME's prev-channel hint.
+  if (link.stream != nullptr) link.count_home = link.stream->id().value();
+  if (ack.count == umtp::kAckCountUnknown) {
+    // The peer restarted and lost its dedup window: our sent-but-unacked
+    // prefix was either delivered before the crash or died with it. Replaying
+    // it could only duplicate, so it is dropped (at-most-once across receiver
+    // crashes — the pre-contract semantics for this case).
+    std::uint64_t dropped = 0;
+    while (!link.ledger.empty() && link.ledger.front().sent) {
+      link.sent_bytes -= link.ledger.front().frame->size();
+      link.ledger.pop_front();
+      dropped += 1;
+    }
+    if (dropped > 0) {
+      runtime_.network().metrics().counter("delivery.unacked_dropped").inc(dropped);
+      msgs_dropped_.inc(dropped);
+    }
+  } else {
+    // Clamp against an ack-count lie: the peer can never have accepted more
+    // frames than we ever assigned.
+    const std::uint64_t acked = std::min(ack.count, link.next_seq);
+    std::uint64_t retired = 0;
+    while (!link.ledger.empty() && link.ledger.front().seq <= acked) {
+      LinkEntry& e = link.ledger.front();
+      (e.sent ? link.sent_bytes : link.unsent_bytes) -= e.frame->size();
+      if (e.sent) retired += 1;
+      link.ledger.pop_front();
+    }
+    if (retired > 0) {
+      // Each retired entry is a frame PR 4 would have replayed blindly — and
+      // therefore a duplicate this contract prevented at the source.
+      runtime_.network().metrics().counter("delivery.acked_retired").inc(retired);
+    }
+  }
+  if (link.awaiting_ack) finish_recovery(link);
+}
+
+void Transport::finish_recovery(NodeLink& link) {
+  obs::MetricsRegistry& metrics = runtime_.network().metrics();
+  const sim::TimePoint now = runtime_.scheduler().now();
+  std::uint64_t replayed = 0;
+  std::uint64_t expired = 0;
+  for (auto it = link.ledger.begin(); it != link.ledger.end();) {
+    LinkEntry& e = *it;
+    if (e.deadline_ns != 0 && now.count() >= e.deadline_ns) {
+      // Stale by its own contract: retire instead of replaying minutes late.
+      (e.sent ? link.sent_bytes : link.unsent_bytes) -= e.frame->size();
+      metrics.counter("delivery.expired").inc();
+      msgs_dropped_.inc();
+      expired += 1;
+      it = link.ledger.erase(it);
+      continue;
+    }
+    // Replay SEQ-wrapped: the explicit sequence number lets the receiver
+    // suppress whatever the ACK race still let through.
+    Bytes wrapped = umtp::encode_seq(e.seq, *e.frame);
+    if (!e.sent) {
+      e.sent = true;
+      link.unsent_bytes -= e.frame->size();
+      link.sent_bytes += e.frame->size();
+    }
+    (void)link.stream->send(std::move(wrapped));
+    replayed += 1;
+    ++it;
+  }
+  link.awaiting_ack = false;
+  link.reconnecting = false;
+  link.attempts = 0;
+  metrics.counter("recovery.reconnects").inc();
+  metrics.counter("recovery.replays").inc(replayed);
+  runtime_.network().tracer().end_span(link.recover_span, now);
+  link.recover_span = 0;
+  log::Entry(log::Level::info, "transport")
+      << "link to node " << link.node.to_string() << " re-established, " << replayed
+      << " frame(s) replayed, " << expired << " expired";
+  // The peer's soft state may have expired (or gone stale) during the outage:
+  // renew our leases immediately instead of waiting for the next refresh tick.
+  runtime_.directory().reannounce();
+  resume_paths();
 }
 
 void Transport::accept_peer(net::StreamPtr stream) {
@@ -582,36 +900,91 @@ void Transport::accept_peer(net::StreamPtr stream) {
   // The sender stages trace baggage keyed by its own (client) stream id, which
   // is this accepted stream's peer.
   const std::uint64_t channel = stream->peer().value();
-  stream->on_data([this, assembler, channel](std::span<const std::uint8_t> chunk) {
-    handle_frames(assembler, chunk, channel);
+  stream->on_data([this, assembler, channel, raw](std::span<const std::uint8_t> chunk) {
+    handle_frames(assembler, chunk, channel, raw);
   });
-  stream->on_close([this, raw]() {
+  stream->on_close([this, raw, channel]() {
     std::erase_if(peer_streams_, [raw](const net::StreamPtr& s) { return s.get() == raw; });
+    if (!raw->was_reset()) {
+      // Graceful close: the sender dropped its link, so a future link from the
+      // same node starts a fresh sequence space — stale counts must not
+      // suppress it. Reset counts survive for the RESUME migration.
+      recv_links_.erase(channel);
+      std::erase_if(recv_home_,
+                    [channel](const auto& entry) { return entry.second == channel; });
+    }
   });
 }
 
 void Transport::handle_frames(const std::shared_ptr<umtp::FrameAssembler>& assembler,
-                              std::span<const std::uint8_t> chunk, std::uint64_t channel) {
+                              std::span<const std::uint8_t> chunk, std::uint64_t channel,
+                              net::Stream* reply) {
   std::vector<umtp::Frame> frames;
   if (auto r = assembler->feed(chunk, frames); !r.ok()) {
     log::Entry(log::Level::warn, "transport") << "bad UMTP frame: " << r.error().to_string();
     return;
   }
-  for (umtp::Frame& frame : frames) handle_frame(std::move(frame), channel);
+  for (umtp::Frame& frame : frames) handle_frame(std::move(frame), channel, reply);
 }
 
-void Transport::handle_frame(umtp::Frame frame, std::uint64_t channel) {
+void Transport::handle_frame(umtp::Frame frame, std::uint64_t channel, net::Stream* reply) {
+  // Dedup window first. Plain payload frames count implicitly (lossless
+  // in-order streams make "frames accepted" == "highest seq delivered");
+  // SEQ-wrapped replays carry their number explicitly and are suppressed when
+  // already counted.
+  bool replayed = false;
+  if (auto* seq = std::get_if<umtp::SeqFrame>(&frame)) {
+    RecvLink& rl = recv_links_[channel];
+    if (seq->seq <= rl.count) {
+      runtime_.network().metrics().counter("delivery.dup_suppressed").inc();
+      runtime_.network().tracer().instant(0, "deliver.dup-suppressed", runtime_.host(),
+                                          runtime_.scheduler().now());
+      return;
+    }
+    rl.count = seq->seq;
+    auto inner = umtp::decode_body(seq->body);
+    if (!inner.ok()) {  // unreachable: the assembler validated it; stay safe
+      log::Entry(log::Level::warn, "transport")
+          << "bad SEQ inner frame: " << inner.error().to_string();
+      return;
+    }
+    frame = std::move(inner).take();
+    replayed = true;
+  } else if (!std::holds_alternative<umtp::AckFrame>(frame) &&
+             !std::holds_alternative<umtp::ResumeFrame>(frame)) {
+    recv_links_[channel].count += 1;
+  }
+  if (std::holds_alternative<umtp::AckFrame>(frame)) {
+    log::Entry(log::Level::warn, "transport") << "unexpected ACK on accepted stream";
+    return;
+  }
+  if (auto* resume = std::get_if<umtp::ResumeFrame>(&frame)) {
+    handle_resume(*resume, channel, reply);
+    return;
+  }
   if (auto* data = std::get_if<umtp::DataFrame>(&frame)) {
     data_frames_rx_.inc();
     obs::Tracer& tracer = runtime_.network().tracer();
     // Claim the side-band baggage the sender staged for this DATA frame: close
     // its wire span and re-attach the trace id the frame never carried.
-    if (auto staged = tracer.take(channel)) {
-      data->message.trace = staged->trace;
-      tracer.end_span(staged->span, runtime_.scheduler().now());
-      if (staged->span != 0) {
-        wire_ns_.observe(tracer.spans()[staged->span - 1].duration().count());
+    // Replayed frames have none (their baggage died with the old stream).
+    if (!replayed) {
+      if (auto staged = tracer.take(channel)) {
+        data->message.trace = staged->trace;
+        tracer.end_span(staged->span, runtime_.scheduler().now());
+        if (staged->span != 0) {
+          wire_ns_.observe(tracer.spans()[staged->span - 1].duration().count());
+        }
       }
+    }
+    // Receiver-side deadline check: the wire crossing may have eaten the
+    // remaining budget (or the frame sat in an outage buffer).
+    if (data->message.deadline_ns != 0 &&
+        runtime_.scheduler().now().count() >= data->message.deadline_ns) {
+      runtime_.network().metrics().counter("delivery.expired").inc();
+      tracer.instant(data->message.trace, "deliver.expired", runtime_.host(),
+                     runtime_.scheduler().now());
+      return;
     }
     Translator* t = runtime_.translator(data->dst.translator);
     if (t == nullptr) {
@@ -620,11 +993,21 @@ void Transport::handle_frame(umtp::Frame frame, std::uint64_t channel) {
       msgs_dropped_.inc();
       return;
     }
+    if (!breaker_allows(data->dst.translator)) {
+      msgs_dropped_.inc();
+      runtime_.network().metrics().counter("delivery.breaker_dropped").inc();
+      tracer.instant(data->message.trace, "deliver.quarantined", runtime_.host(),
+                     runtime_.scheduler().now());
+      return;
+    }
     tracer.instant(data->message.trace, "deliver", runtime_.host(), runtime_.scheduler().now());
     if (auto r = t->deliver(data->dst.port, data->message); !r.ok()) {
       deliver_failures_.inc();
+      breaker_record(data->dst.translator, false);
       log::Entry(log::Level::warn, "transport")
           << "deliver " << data->dst.to_string() << " failed: " << r.error().to_string();
+    } else {
+      breaker_record(data->dst.translator, true);
     }
     return;
   }
@@ -656,6 +1039,55 @@ void Transport::handle_frame(umtp::Frame frame, std::uint64_t channel) {
   }
   const auto& disc = std::get<umtp::DisconnectFrame>(frame);
   paths_.erase(disc.path);
+}
+
+void Transport::handle_resume(const umtp::ResumeFrame& resume, std::uint64_t channel,
+                              net::Stream* reply) {
+  obs::MetricsRegistry& metrics = runtime_.network().metrics();
+  // Find the sender's count: the prev-channel hint first, then the node-keyed
+  // home (covers a lost ACK — the previous migration happened but the sender
+  // never learned of it). Epoch guards both against counts from an earlier
+  // link incarnation of a restarted node.
+  RecvLink state;
+  bool known = false;
+  if (auto it = recv_links_.find(resume.prev_channel);
+      it != recv_links_.end() && (it->second.epoch == 0 || it->second.epoch == resume.epoch)) {
+    state = it->second;
+    known = true;
+    recv_links_.erase(it);
+  } else if (auto home = recv_home_.find(resume.node); home != recv_home_.end()) {
+    if (auto alt = recv_links_.find(home->second);
+        alt != recv_links_.end() && alt->second.epoch == resume.epoch) {
+      state = alt->second;
+      known = true;
+      recv_links_.erase(alt);
+    }
+  }
+  state.epoch = resume.epoch;
+  if (!known) {
+    // We restarted since this epoch began (or never saw a frame of it): no
+    // dedup state to resume from. Align with the sender's retained window for
+    // future SEQ replays, and tell it not to replay its sent-but-unacked
+    // prefix (at-most-once across receiver crashes, DESIGN.md §11).
+    state.count = resume.base_seq == 0 ? 0 : resume.base_seq - 1;
+  } else if (state.count + 1 < resume.base_seq) {
+    // The sender retired frames we never accepted (retention-ring overflow):
+    // those messages are unrecoverable. Jump forward so dedup stays aligned,
+    // and count the gap for observability.
+    metrics.counter("delivery.resume_gap").inc();
+    log::Entry(log::Level::warn, "transport")
+        << "RESUME from node " << resume.node.to_string() << ": count " << state.count
+        << " behind base seq " << resume.base_seq << " (frames lost to retention)";
+    state.count = resume.base_seq - 1;
+  }
+  recv_links_[channel] = state;
+  recv_home_[resume.node] = channel;
+  metrics.counter("delivery.resumes").inc();
+  if (reply != nullptr) {
+    // The one place an ACK is born (lint rule `ack-origin`).
+    const std::uint64_t count = known ? state.count : umtp::kAckCountUnknown;
+    (void)reply->send(umtp::encode(umtp::Frame{umtp::AckFrame{resume.epoch, count}}));
+  }
 }
 
 }  // namespace umiddle::core

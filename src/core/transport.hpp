@@ -12,12 +12,21 @@
 // Each path owns a *translation buffer*: messages wait there while the
 // destination is applying backpressure (a slow native protocol, or a congested
 // inter-node link). An optional QosPolicy adds token-bucket rate shaping and a
-// buffer bound — the QoS control the paper names as future work (§5.3, §7).
+// bounded buffer with a shedding policy — the QoS control the paper names as
+// future work (§5.3, §7).
 //
 // A path lives on the node hosting its source translator. connect() calls made
 // elsewhere are forwarded there as UMTP CONNECT frames; PathIds embed the
 // requesting node, so they are globally unique and can be disconnected from
 // anywhere.
+//
+// On top of PR 4's link recovery this module implements the end-to-end
+// delivery contract (DESIGN.md §11): per-link implicit sequencing with
+// RESUME/ACK-driven selective replay and a receiver dedup window
+// (effectively-once across resets), per-message virtual-time deadlines, and a
+// per-destination circuit breaker. All of it is fault-free-invisible: no extra
+// wire bytes, events, Rng draws, or metric registrations happen in a world
+// with no faults, deadlines, bounded buffers, or delivery failures.
 #pragma once
 
 #include <deque>
@@ -25,6 +34,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -42,8 +52,15 @@ class Runtime;
 struct PathStats {
   std::uint64_t messages_forwarded = 0;
   std::uint64_t bytes_forwarded = 0;
-  /// Messages dropped because the bounded translation buffer was full.
+  /// Messages dropped on this path for any reason (buffer shed, destination
+  /// vanished, breaker quarantine). Superset of messages_shed.
   std::uint64_t messages_dropped = 0;
+  /// Messages dropped by the shedding policy of a full bounded buffer.
+  std::uint64_t messages_shed = 0;
+  /// Messages dropped because their deadline passed before delivery.
+  std::uint64_t messages_expired = 0;
+  /// Emits refused with would-block by a Block-policy bounded buffer.
+  std::uint64_t messages_blocked = 0;
   /// Current translation-buffer occupancy in bytes.
   std::size_t buffered_bytes = 0;
   /// High-water mark of the translation buffer.
@@ -81,8 +98,11 @@ class Transport final : public DirectoryListener {
   std::size_t local_path_count() const { return paths_.size(); }
 
   // --- runtime-internal ------------------------------------------------------------
-  /// A local translator emitted a message from an output port.
-  void route(const PortRef& src, const Message& msg);
+  /// A local translator emitted a message from an output port. Fails with
+  /// Errc::buffer_overflow (would-block) when a Block-policy path's bounded
+  /// buffer is full — admission is all-or-nothing across the emit's paths, so
+  /// a retried emit never double-delivers to the paths that had room.
+  [[nodiscard]] Result<void> route(const PortRef& src, const Message& msg);
   /// A local translator became ready again; resume paths feeding it.
   void notify_ready(TranslatorId id);
 
@@ -97,6 +117,10 @@ class Transport final : public DirectoryListener {
   struct Pending {
     PortRef dst;
     std::shared_ptr<const Message> msg;
+    /// Effective absolute deadline (message's own, or emit + path TTL);
+    /// 0 = none. Kept here so a path-level TTL never mutates the shared
+    /// Message.
+    std::int64_t deadline_ns = 0;
   };
 
   struct Path {
@@ -113,19 +137,53 @@ class Transport final : public DirectoryListener {
     PathStats stats;
   };
 
+  /// One frame in a link's send ledger: awaiting acknowledgement (sent) or
+  /// transmission (unsent). Sequence numbers are per-link and 1-based; they
+  /// stay implicit (in memory, never on the wire) until a recovery replay
+  /// wraps the frame in a SEQ envelope.
+  struct LinkEntry {
+    std::uint64_t seq = 0;
+    std::int64_t deadline_ns = 0;  ///< 0 = none; expired entries are never replayed
+    PayloadPtr frame;              ///< length-prefixed encoded frame
+    bool sent = false;
+  };
+
   struct NodeLink {
     NodeId node;
     net::StreamPtr stream;  ///< null while down and awaiting a reconnect attempt
     bool connected = false;
     /// Set when the stream was reset by the fault plane; the link is held open
     /// for capped-backoff reconnect attempts instead of being erased, the
-    /// outbox becomes a *bounded* outage buffer, and the next successful
-    /// handshake counts as a recovery (metrics `recovery.reconnects`).
+    /// unsent ledger suffix becomes a *bounded* outage buffer, and the next
+    /// successful handshake counts as a recovery (metrics
+    /// `recovery.reconnects`).
     bool reconnecting = false;
-    int attempts = 0;  ///< consecutive failed reconnect attempts
-    std::size_t outbox_bytes = 0;
+    /// RESUME sent on the fresh stream, ACK not yet received: new traffic
+    /// buffers as unsent until the peer tells us where to resume.
+    bool awaiting_ack = false;
+    int attempts = 0;              ///< consecutive failed reconnect attempts
+    std::uint64_t next_seq = 0;    ///< last assigned sequence number
+    std::uint64_t epoch = 0;       ///< id of the link's first stream (world-unique)
+    std::uint64_t count_home = 0;  ///< channel confirmed to hold the peer's dedup count
     std::uint64_t recover_span = 0;  ///< open "recover" span while down
-    std::deque<Bytes> outbox;  ///< frames awaiting the handshake / reconnection
+    std::size_t unsent_bytes = 0;  ///< handshake/outage buffer occupancy
+    std::size_t sent_bytes = 0;    ///< sent-but-unacknowledged retention occupancy
+    std::deque<LinkEntry> ledger;  ///< seq-ordered: sent prefix, unsent suffix
+  };
+
+  /// Receive-side dedup state for one inbound link, keyed by the sender's
+  /// client stream id (the same "channel" the tracer baggage rides on).
+  struct RecvLink {
+    std::uint64_t count = 0;  ///< frames accepted from this link so far
+    std::uint64_t epoch = 0;  ///< sender's link epoch, learned via RESUME (0 = unknown)
+  };
+
+  /// Per-destination circuit breaker (closed → open after K consecutive
+  /// delivery failures → half-open probe on a jittered timer).
+  struct Breaker {
+    enum class State { closed, open, half_open };
+    State state = State::closed;
+    int failures = 0;  ///< consecutive failures while closed
   };
 
   /// High-water mark on a link's unsent bytes before paths pause.
@@ -139,6 +197,9 @@ class Transport final : public DirectoryListener {
   /// First input port of `profile` connectable from the source type, if any.
   std::optional<PortRef> pick_input_port(const Path& path, const TranslatorProfile& profile) const;
   void enqueue(Path& path, const PortRef& dst, const std::shared_ptr<const Message>& msg);
+  /// Apply the path's shedding policy to admit a `bytes`-sized message for
+  /// `dst` into a full bounded buffer. True = room was made, enqueue it.
+  bool shed_for_room(Path& path, const PortRef& dst, std::size_t bytes);
   void drain(Path& path);
   void schedule_drain(PathId id, sim::Duration delay);
   /// True if the destination can accept a message right now.
@@ -146,27 +207,51 @@ class Transport final : public DirectoryListener {
   /// Hand one message to its destination (after charging translation cost).
   void dispatch(Path& path, Pending item);
 
+  // --- circuit breaker -------------------------------------------------------
+  bool breaker_allows(TranslatorId id) const;
+  void breaker_record(TranslatorId id, bool ok);
+  void open_breaker(TranslatorId id, Breaker& breaker);
+
   NodeLink* link_to(NodeId node);
   /// Open (or re-open) the UMTP stream for a link and install its handlers.
   /// False if the peer is unknown or unreachable right now.
   bool open_stream(NodeLink& link);
+  /// Fully up: connected and not holding traffic for a recovery handshake.
+  static bool link_ready(const NodeLink& link) {
+    return link.connected && !link.awaiting_ack && link.stream != nullptr;
+  }
   void handle_link_up(NodeId node);
   void handle_link_close(NodeId node);
   /// Capped exponential backoff with world-Rng jitter, then retry_link().
   void schedule_reconnect(NodeLink& link);
   void retry_link(NodeId node);
   void give_up_link(NodeId node);
-  void link_send(NodeLink& link, Bytes frame);
+  void link_send(NodeLink& link, Bytes frame, std::int64_t deadline_ns = 0);
+  /// Retire acknowledged sent frames beyond the retention budget.
+  void trim_retention(NodeLink& link);
+  /// Peer told us its accepted-frame count: retire the acknowledged ledger
+  /// prefix and, if a recovery is pending, selectively replay the rest.
+  void handle_ack(NodeLink& link, const umtp::AckFrame& ack);
+  /// Replay unacknowledged, unexpired ledger entries SEQ-wrapped, then close
+  /// out the recovery (reconnect bookkeeping, reannounce, resume paths).
+  void finish_recovery(NodeLink& link);
   void accept_peer(net::StreamPtr stream);
   /// `channel` is the sending peer's stream id (Stream::peer() of the accepted
-  /// stream) — the tracer baggage channel DATA trace ids arrive on.
+  /// stream) — the tracer baggage channel DATA trace ids arrive on. `reply`
+  /// carries ACKs back to the sender (streams are bidirectional).
   void handle_frames(const std::shared_ptr<umtp::FrameAssembler>& assembler,
-                     std::span<const std::uint8_t> chunk, std::uint64_t channel);
-  void handle_frame(umtp::Frame frame, std::uint64_t channel);
+                     std::span<const std::uint8_t> chunk, std::uint64_t channel,
+                     net::Stream* reply);
+  void handle_frame(umtp::Frame frame, std::uint64_t channel, net::Stream* reply);
+  /// Receiver half of the recovery handshake: migrate the dedup count to the
+  /// new channel and answer with a cumulative ACK.
+  void handle_resume(const umtp::ResumeFrame& resume, std::uint64_t channel, net::Stream* reply);
   void resume_paths();
 
   Runtime& runtime_;
   // Per-world instruments (net::Network::metrics), shared across runtimes.
+  // Delivery-contract counters (delivery.*) are registered lazily on first
+  // fire so fault-free snapshots stay byte-identical.
   obs::Counter& msgs_enqueued_;
   obs::Counter& msgs_forwarded_;
   obs::Counter& msgs_dropped_;
@@ -180,8 +265,16 @@ class Transport final : public DirectoryListener {
   /// Paths created here but hosted remotely: path → hosting node.
   std::map<PathId, NodeId> remote_paths_;
   std::map<NodeId, NodeLink> links_;
-  /// Streams accepted from peers (we only read frames from them).
+  /// Streams accepted from peers (we read frames from them and answer ACKs).
   std::vector<net::StreamPtr> peer_streams_;
+  /// Dedup counts by inbound channel; values only, never iterated (safe to
+  /// keep unordered).
+  std::unordered_map<std::uint64_t, RecvLink> recv_links_;
+  /// Sender node → channel its count last migrated to via RESUME. Fallback for
+  /// the sender's prev-channel hint being one recovery stale (its previous
+  /// RESUME was processed but the ACK was lost to a second cut).
+  std::map<NodeId, std::uint64_t> recv_home_;
+  std::map<TranslatorId, Breaker> breakers_;
   IdGenerator<PathId> path_seq_;
 };
 

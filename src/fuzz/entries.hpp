@@ -28,6 +28,9 @@ int fuzz_usdl_parse(const std::uint8_t* data, std::size_t size);
 
 /// core::umtp::decode_body on the raw bytes, then FrameAssembler::feed on a
 /// length-prefixed copy, fed in small chunks to exercise reassembly state.
+/// Covers the whole frame surface including the delivery-contract additions:
+/// deadline-stamped DATA, ACK/RESUME recovery frames, and SEQ replay wrappers
+/// (whose inner body is validated eagerly, so nesting lies fail here too).
 int fuzz_umtp_decode(const std::uint8_t* data, std::size_t size);
 
 }  // namespace umiddle::fuzz

@@ -346,6 +346,208 @@ TEST(ChaosTest, BurstLossNeverStallsTheBridge) {
   EXPECT_EQ(a.telemetry, b.telemetry);
 }
 
+// --- scenario 5: exactly-once across a mid-stream cut (DESIGN.md §11) -----------
+
+/// Two native runtimes on a slow (1 Mbps) LAN, so a steady message stream
+/// keeps several UMTP DATA frames in flight / queued when the cut lands.
+void exactly_once_scenario(RunRecord* rec) {
+  sim::Scheduler sched;
+  net::Network net(sched, 1);
+  net::SegmentSpec spec;
+  spec.name = "lan";
+  spec.bandwidth_bps = 1e6;
+  spec.latency = milliseconds(1);
+  net::SegmentId lan = net.add_segment(spec);
+  for (const char* h : {"a", "b"}) {
+    ASSERT_TRUE(net.add_host(h).ok());
+    ASSERT_TRUE(net.attach(h, lan).ok());
+  }
+  core::Runtime ra(sched, net, "a");
+  core::Runtime rb(sched, net, "b");
+  ASSERT_TRUE(ra.start().ok());
+  ASSERT_TRUE(rb.start().ok());
+
+  auto src = std::make_unique<core::LambdaDevice>(
+      "Sensor", core::make_source_shape("out", MimeType::of("image/jpeg")));
+  core::LambdaDevice* src_raw = src.get();
+  auto src_id = ra.map(std::move(src)).take();
+  auto sink = std::make_unique<core::CollectorDevice>(
+      "Recorder", core::make_sink_shape("in", MimeType::of("image/jpeg")));
+  core::CollectorDevice* sink_raw = sink.get();
+  auto sink_id = rb.map(std::move(sink)).take();
+  sched.run_for(seconds(1));
+  ASSERT_TRUE(
+      ra.transport().connect(core::PortRef{src_id, "out"}, core::PortRef{sink_id, "in"}).ok());
+
+  // Cut lands mid-burst: at 1 Mbps a 2 kB frame serializes for ~17 ms, so at
+  // +400 ms several messages sit in the stream's send queue and on the medium.
+  sim::TimePoint t0 = sched.now() + milliseconds(400);
+  net.faults().cut(lan, t0, t0 + seconds(1));
+
+  const int kMessages = 60;
+  for (int i = 0; i < kMessages; ++i) {
+    core::Message m;
+    m.type = MimeType::of("image/jpeg");
+    m.payload = Bytes(2000, 0xD8);
+    m.meta["n"] = std::to_string(i);
+    ASSERT_TRUE(src_raw->emit("out", std::move(m)).ok());
+    sched.run_for(milliseconds(25));
+  }
+  sched.run_for(seconds(20));
+
+  // The contract: every message exactly once, in order — the RESUME/ACK
+  // handshake retires what the receiver counted, the SEQ replay re-sends only
+  // the remainder, and the dedup window suppresses anything the race let both
+  // paths carry.
+  ASSERT_EQ(sink_raw->count(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(sink_raw->received()[static_cast<std::size_t>(i)].msg.meta.at("n"),
+              std::to_string(i));
+  }
+  EXPECT_GE(counter_of(net, "recovery.reconnects"), 1u);
+  EXPECT_GE(counter_of(net, "recovery.replays"), 1u);
+  EXPECT_GE(counter_of(net, "delivery.acked_retired"), 1u);
+  EXPECT_EQ(counter_of(net, "recovery.outage_dropped"), 0u);
+  EXPECT_EQ(counter_of(net, "delivery.resume_gap"), 0u);
+  rec->telemetry = obs::world_json(net.metrics(), net.tracer());
+  rec->digest = sched.trace_digest();
+}
+
+TEST(ChaosTest, MidStreamCutDeliversEveryMessageExactlyOnce) {
+  RunRecord a, b;
+  ASSERT_NO_FATAL_FAILURE(exactly_once_scenario(&a));
+  ASSERT_NO_FATAL_FAILURE(exactly_once_scenario(&b));
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.telemetry, b.telemetry);
+}
+
+// --- scenario 6: deadlines expire in the outage buffer instead of replaying -----
+
+void deadline_outage_scenario(RunRecord* rec) {
+  sim::Scheduler sched;
+  net::Network net(sched, 1);
+  net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+  for (const char* h : {"a", "b"}) {
+    ASSERT_TRUE(net.add_host(h).ok());
+    ASSERT_TRUE(net.attach(h, lan).ok());
+  }
+  core::Runtime ra(sched, net, "a");
+  core::Runtime rb(sched, net, "b");
+  ASSERT_TRUE(ra.start().ok());
+  ASSERT_TRUE(rb.start().ok());
+
+  auto src = std::make_unique<core::LambdaDevice>(
+      "Sensor", core::make_source_shape("out", MimeType::of("image/jpeg")));
+  core::LambdaDevice* src_raw = src.get();
+  auto src_id = ra.map(std::move(src)).take();
+  auto sink = std::make_unique<core::CollectorDevice>(
+      "Live view", core::make_sink_shape("in", MimeType::of("image/jpeg")));
+  core::CollectorDevice* sink_raw = sink.get();
+  auto sink_id = rb.map(std::move(sink)).take();
+  sched.run_for(seconds(1));
+  core::QosPolicy qos;
+  qos.message_ttl = milliseconds(500);  // a live feed: stale frames are garbage
+  ASSERT_TRUE(ra.transport()
+                  .connect(core::PortRef{src_id, "out"}, core::PortRef{sink_id, "in"}, qos)
+                  .ok());
+
+  auto shot = [&](const char* name) {
+    core::Message m;
+    m.type = MimeType::of("image/jpeg");
+    m.payload = Bytes(1000, 0xD8);
+    m.meta["name"] = name;
+    ASSERT_TRUE(src_raw->emit("out", std::move(m)).ok());
+  };
+  shot("before");
+  sched.run_for(seconds(1));
+  ASSERT_EQ(sink_raw->count(), 1u);
+
+  // 5 s cut, one frame emitted mid-outage. Its 500 ms TTL expires in the
+  // link's outage buffer long before the link heals, so recovery must retire
+  // it (a DATA_DL frame carries its deadline) rather than deliver stale data.
+  sim::TimePoint t0 = sched.now() + milliseconds(1);
+  net.faults().cut(lan, t0, t0 + seconds(5));
+  sched.run_for(seconds(1));
+  shot("stale");
+  sched.run_for(seconds(19));
+  shot("after");
+  sched.run_for(seconds(2));
+
+  ASSERT_EQ(sink_raw->count(), 2u);
+  EXPECT_EQ(sink_raw->received()[0].msg.meta.at("name"), "before");
+  EXPECT_EQ(sink_raw->received()[1].msg.meta.at("name"), "after");
+  EXPECT_GE(counter_of(net, "recovery.reconnects"), 1u);
+  EXPECT_GE(counter_of(net, "delivery.expired"), 1u);
+  rec->telemetry = obs::world_json(net.metrics(), net.tracer());
+  rec->digest = sched.trace_digest();
+}
+
+TEST(ChaosTest, DeadlinedMessagesExpireInOutageBufferInsteadOfReplayingStale) {
+  RunRecord a, b;
+  ASSERT_NO_FATAL_FAILURE(deadline_outage_scenario(&a));
+  ASSERT_NO_FATAL_FAILURE(deadline_outage_scenario(&b));
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.telemetry, b.telemetry);
+}
+
+// --- scenario 7: a lying peer cannot force duplicate delivery -------------------
+
+TEST(ChaosTest, SeqFieldLiesAreSuppressedNotRedelivered) {
+  // A raw (non-uMiddle) client speaks UMTP at the transport port and lies in
+  // the sequencing fields: a SEQ replay of an already-counted frame must be
+  // suppressed, a SEQ with an inflated number must not break later delivery,
+  // and a forged ACK on the accepted stream must be ignored.
+  sim::Scheduler sched;
+  net::Network net(sched, 1);
+  net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+  for (const char* h : {"a", "attacker"}) {
+    ASSERT_TRUE(net.add_host(h).ok());
+    ASSERT_TRUE(net.attach(h, lan).ok());
+  }
+  core::Runtime ra(sched, net, "a");
+  ASSERT_TRUE(ra.start().ok());
+  auto sink = std::make_unique<core::CollectorDevice>(
+      "Recorder", core::make_sink_shape("in", MimeType::of("image/jpeg")));
+  core::CollectorDevice* sink_raw = sink.get();
+  auto sink_id = ra.map(std::move(sink)).take();
+  sched.run_for(seconds(1));
+
+  auto stream = net.connect("attacker", {"a", ra.config().umtp_port}).take();
+  sched.run_for(milliseconds(10));  // handshake
+  auto data = [&](const char* name) {
+    core::Message m;
+    m.type = MimeType::of("image/jpeg");
+    m.payload = Bytes(100, 0xD8);
+    m.meta["name"] = name;
+    return core::umtp::encode_data(core::PortRef{sink_id, "in"}, m);
+  };
+
+  ASSERT_TRUE(stream->send(data("first")).ok());  // plain DATA: counted as seq 1
+  sched.run_for(milliseconds(10));
+  ASSERT_EQ(sink_raw->count(), 1u);
+
+  // "Replay" of seq 1 with different content: the dedup window wins.
+  ASSERT_TRUE(stream->send(core::umtp::encode_seq(1, data("dup-lie"))).ok());
+  // Inflated seq: accepted (the window only moves forward) but delivered once.
+  ASSERT_TRUE(stream->send(core::umtp::encode_seq(1000, data("jump"))).ok());
+  // Forged cumulative ACK (hand-crafted bytes; ACKs belong to client streams).
+  ByteWriter forged;
+  forged.u32(17);
+  forged.u8(5);  // FrameType::ack
+  forged.u64(0xDEAD);
+  forged.u64(0xBEEF);
+  ASSERT_TRUE(stream->send(forged.take()).ok());
+  // Life goes on: a further plain DATA frame still delivers.
+  ASSERT_TRUE(stream->send(data("second")).ok());
+  sched.run_for(milliseconds(50));
+
+  ASSERT_EQ(sink_raw->count(), 3u);
+  EXPECT_EQ(sink_raw->received()[0].msg.meta.at("name"), "first");
+  EXPECT_EQ(sink_raw->received()[1].msg.meta.at("name"), "jump");
+  EXPECT_EQ(sink_raw->received()[2].msg.meta.at("name"), "second");
+  EXPECT_EQ(counter_of(net, "delivery.dup_suppressed"), 1u);
+}
+
 // --- fault-free worlds are untouched --------------------------------------------
 
 TEST(ChaosTest, FaultFreeWorldDrawsNothingFromTheFaultPlane) {

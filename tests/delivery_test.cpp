@@ -1,0 +1,349 @@
+// End-to-end delivery contract, local half (DESIGN.md §11): per-destination
+// circuit breaker, per-message deadlines, and the bounded-buffer shedding
+// policies. The cross-node half (UMTP acks, dedup, outage expiry) lives in
+// chaos_test.cpp, where the fault plane can cut links under it.
+#include <gtest/gtest.h>
+
+#include "core/umiddle.hpp"
+
+namespace umiddle::core {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+MimeType jpeg() { return MimeType::of("image/jpeg"); }
+
+/// A sink whose native side can be forced to fail or to refuse readiness.
+class FussySink final : public Translator {
+ public:
+  FussySink() : Translator("Fussy sink", "umiddle", "umiddle:test", make_sink_shape("in", jpeg())) {}
+
+  [[nodiscard]] Result<void> deliver(const std::string&, const Message& msg) override {
+    attempts += 1;
+    if (failing) return make_error(Errc::io_error, "native device offline");
+    delivered.push_back(msg);
+    return ok_result();
+  }
+  bool ready(const std::string&) const override { return open_; }
+  void open() {
+    open_ = true;
+    if (runtime() != nullptr) runtime()->notify_ready(profile().id);
+  }
+  /// Backpressure without virtual time passing: the translation buffer fills
+  /// deterministically while the gate is closed.
+  void close_gate() { open_ = false; }
+
+  int attempts = 0;
+  bool failing = false;
+  std::vector<Message> delivered;
+
+ private:
+  bool open_ = true;
+};
+
+struct DeliveryWorld {
+  sim::Scheduler sched;
+  net::Network net{sched, 1};
+  std::unique_ptr<Runtime> rt;
+  LambdaDevice* src = nullptr;
+  FussySink* sink = nullptr;
+  TranslatorId src_id;
+  TranslatorId sink_id;
+
+  explicit DeliveryWorld(RuntimeConfig config = {}) {
+    net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+    EXPECT_TRUE(net.add_host("h").ok());
+    EXPECT_TRUE(net.attach("h", lan).ok());
+    rt = std::make_unique<Runtime>(sched, net, "h", std::move(config));
+    EXPECT_TRUE(rt->start().ok());
+    auto s = std::make_unique<LambdaDevice>("Source", make_source_shape("out", jpeg()));
+    src = s.get();
+    src_id = rt->map(std::move(s)).take();
+    auto k = std::make_unique<FussySink>();
+    sink = k.get();
+    sink_id = rt->map(std::move(k)).take();
+    sched.run_for(milliseconds(100));
+  }
+
+  PathId connect(QosPolicy qos = {}) {
+    return rt->transport().connect(PortRef{src_id, "out"}, PortRef{sink_id, "in"}, qos).take();
+  }
+
+  Result<void> emit(int n, std::size_t bytes = 1000) {
+    Message m;
+    m.type = jpeg();
+    m.payload = Bytes(bytes, 0xFF);
+    m.meta["n"] = std::to_string(n);
+    return src->emit("out", std::move(m));
+  }
+
+  std::uint64_t counter(std::string_view name) {
+    auto snap = net.metrics().snapshot();
+    const obs::SnapshotEntry* e = snap.find(name);
+    return e == nullptr ? 0 : e->count;
+  }
+};
+
+// --- circuit breaker -----------------------------------------------------------
+
+TEST(BreakerTest, OpensAfterThresholdQuarantinesAndProbesBackClosed) {
+  DeliveryWorld w;  // default threshold 5, probe delay 500 ms (+ jitter)
+  PathId path = w.connect();
+  w.sink->failing = true;
+
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(w.emit(i).ok());
+  w.sched.run_for(milliseconds(100));
+  EXPECT_EQ(w.sink->attempts, 5);
+  EXPECT_EQ(w.counter("delivery.breaker_open"), 1u);
+
+  // Open: further messages are quarantined without touching the native side.
+  for (int i = 5; i < 8; ++i) ASSERT_TRUE(w.emit(i).ok());
+  w.sched.run_for(milliseconds(100));
+  EXPECT_EQ(w.sink->attempts, 5);
+  EXPECT_EQ(w.counter("delivery.breaker_dropped"), 3u);
+  const PathStats* stats = w.rt->transport().stats(path);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->messages_dropped, 3u);
+
+  // Half-open probe: the first delivery after the (jittered ≤ 750 ms) delay
+  // reaches the device again; still failing, so the breaker snaps back open.
+  w.sched.run_for(seconds(1));
+  EXPECT_EQ(w.counter("delivery.breaker_probes"), 1u);
+  ASSERT_TRUE(w.emit(8).ok());
+  w.sched.run_for(milliseconds(100));
+  EXPECT_EQ(w.sink->attempts, 6);
+  EXPECT_EQ(w.counter("delivery.breaker_open"), 2u);
+
+  // Device recovers: the next probe succeeds and fully closes the breaker.
+  w.sink->failing = false;
+  w.sched.run_for(seconds(1));
+  EXPECT_EQ(w.counter("delivery.breaker_probes"), 2u);
+  ASSERT_TRUE(w.emit(9).ok());
+  ASSERT_TRUE(w.emit(10).ok());
+  w.sched.run_for(milliseconds(100));
+  EXPECT_EQ(w.counter("delivery.breaker_closed"), 1u);
+  ASSERT_EQ(w.sink->delivered.size(), 2u);
+  EXPECT_EQ(w.sink->delivered[0].meta.at("n"), "9");
+  EXPECT_EQ(w.sink->delivered[1].meta.at("n"), "10");
+}
+
+TEST(BreakerTest, ThresholdZeroDisablesTheBreakerEntirely) {
+  RuntimeConfig config;
+  config.breaker_failure_threshold = 0;
+  DeliveryWorld w(std::move(config));
+  w.connect();
+  w.sink->failing = true;
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(w.emit(i).ok());
+  w.sched.run_for(milliseconds(200));
+  EXPECT_EQ(w.sink->attempts, 20);  // every delivery reached the native side
+  auto snap = w.net.metrics().snapshot();
+  for (const char* name : {"delivery.breaker_open", "delivery.breaker_dropped",
+                           "delivery.breaker_probes", "delivery.breaker_closed"}) {
+    EXPECT_EQ(snap.find(name), nullptr) << name << " registered with breaker disabled";
+  }
+}
+
+TEST(BreakerTest, SuccessResetsTheConsecutiveFailureCount) {
+  DeliveryWorld w;
+  w.connect();
+  // 4 failures, a success, 4 more failures: never 5 consecutive, never opens.
+  w.sink->failing = true;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(w.emit(i).ok());
+  w.sched.run_for(milliseconds(100));
+  w.sink->failing = false;
+  ASSERT_TRUE(w.emit(4).ok());
+  w.sched.run_for(milliseconds(100));
+  w.sink->failing = true;
+  for (int i = 5; i < 9; ++i) ASSERT_TRUE(w.emit(i).ok());
+  w.sched.run_for(milliseconds(100));
+  EXPECT_EQ(w.sink->attempts, 9);
+  EXPECT_EQ(w.net.metrics().snapshot().find("delivery.breaker_open"), nullptr);
+}
+
+// --- message deadlines ----------------------------------------------------------
+
+TEST(DeadlineTest, ExpiredMessagesAreDroppedNotDelivered) {
+  DeliveryWorld w;
+  PathId path = w.connect();
+
+  Message stale;
+  stale.type = jpeg();
+  stale.payload = Bytes(1000, 0xFF);
+  stale.deadline_ns = w.sched.now().count();  // already expired at emit
+  ASSERT_TRUE(w.src->emit("out", std::move(stale)).ok());
+
+  Message fresh;
+  fresh.type = jpeg();
+  fresh.payload = Bytes(1000, 0xFF);
+  fresh.deadline_ns = (w.sched.now() + seconds(1)).count();
+  ASSERT_TRUE(w.src->emit("out", std::move(fresh)).ok());
+
+  w.sched.run_for(milliseconds(100));
+  ASSERT_EQ(w.sink->delivered.size(), 1u);
+  EXPECT_EQ(w.sink->delivered[0].deadline_ns, fresh.deadline_ns);
+  const PathStats* stats = w.rt->transport().stats(path);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->messages_expired, 1u);
+  EXPECT_EQ(w.counter("delivery.expired"), 1u);
+}
+
+TEST(DeadlineTest, PathTtlExpiresMessagesHeldByBackpressure) {
+  DeliveryWorld w;
+  QosPolicy qos;
+  qos.message_ttl = milliseconds(200);
+  PathId path = w.connect(qos);
+
+  // The TTL is stamped at emit; while the sink refuses readiness the messages
+  // age in the translation buffer and must be retired there, never delivered.
+  w.sink->close_gate();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(w.emit(i).ok());
+  w.sched.run_for(milliseconds(300));  // past every deadline
+  w.sink->open();
+  w.sched.run_for(milliseconds(100));
+  EXPECT_TRUE(w.sink->delivered.empty());
+  const PathStats* stats = w.rt->transport().stats(path);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->messages_expired, 3u);
+  EXPECT_EQ(stats->buffered_bytes, 0u);
+  EXPECT_EQ(w.counter("delivery.expired"), 3u);
+
+  // A fresh emit within its TTL still flows.
+  ASSERT_TRUE(w.emit(3).ok());
+  w.sched.run_for(milliseconds(100));
+  ASSERT_EQ(w.sink->delivered.size(), 1u);
+  EXPECT_EQ(w.sink->delivered[0].meta.at("n"), "3");
+}
+
+// --- shedding policies ----------------------------------------------------------
+
+TEST(SheddingTest, DropOldestEvictsTheQueueFront) {
+  DeliveryWorld w;
+  QosPolicy qos;
+  qos.max_buffered_bytes = 3000;
+  qos.shed = ShedPolicy::drop_oldest;
+  PathId path = w.connect(qos);
+  w.sink->close_gate();
+
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(w.emit(i).ok());
+  const PathStats* stats = w.rt->transport().stats(path);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->buffered_bytes, 3000u);
+  EXPECT_EQ(stats->messages_shed, 2u);
+  EXPECT_EQ(stats->messages_dropped, 2u);
+  EXPECT_EQ(w.counter("delivery.shed_oldest"), 2u);
+
+  w.sink->open();
+  w.sched.run_for(milliseconds(100));
+  ASSERT_EQ(w.sink->delivered.size(), 3u);  // the newest three survive, in order
+  EXPECT_EQ(w.sink->delivered[0].meta.at("n"), "2");
+  EXPECT_EQ(w.sink->delivered[1].meta.at("n"), "3");
+  EXPECT_EQ(w.sink->delivered[2].meta.at("n"), "4");
+}
+
+TEST(SheddingTest, LatestOnlyCoalescesToTheFreshestMessage) {
+  DeliveryWorld w;
+  QosPolicy qos;
+  qos.max_buffered_bytes = 1000;  // a single 1000 B slot
+  qos.shed = ShedPolicy::latest_only;
+  PathId path = w.connect(qos);
+  w.sink->close_gate();
+
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(w.emit(i).ok());
+  const PathStats* stats = w.rt->transport().stats(path);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->buffered_bytes, 1000u);
+  EXPECT_EQ(stats->messages_shed, 4u);
+  EXPECT_EQ(w.counter("delivery.shed_latest"), 4u);
+
+  w.sink->open();
+  w.sched.run_for(milliseconds(100));
+  ASSERT_EQ(w.sink->delivered.size(), 1u);
+  EXPECT_EQ(w.sink->delivered[0].meta.at("n"), "4");  // only the freshest
+}
+
+TEST(SheddingTest, BlockRefusesEmitsButNeverDropsAnything) {
+  DeliveryWorld w;
+  QosPolicy qos;
+  qos.max_buffered_bytes = 2000;
+  qos.shed = ShedPolicy::block;
+  PathId path = w.connect(qos);
+  w.sink->close_gate();
+
+  ASSERT_TRUE(w.emit(0).ok());
+  ASSERT_TRUE(w.emit(1).ok());
+  auto refused = w.emit(2);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, Errc::buffer_overflow);  // would-block
+
+  const PathStats* stats = w.rt->transport().stats(path);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->messages_blocked, 1u);
+  EXPECT_EQ(stats->messages_shed, 0u);
+  EXPECT_EQ(stats->messages_dropped, 0u);
+  EXPECT_EQ(w.counter("delivery.blocked"), 1u);
+
+  // Producer retry loop: drain, retry, nothing is ever lost.
+  w.sink->open();
+  w.sched.run_for(milliseconds(100));
+  ASSERT_TRUE(w.emit(2).ok());
+  w.sched.run_for(milliseconds(100));
+  ASSERT_EQ(w.sink->delivered.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(w.sink->delivered[static_cast<std::size_t>(i)].meta.at("n"), std::to_string(i));
+  }
+}
+
+TEST(SheddingTest, ZeroCapacityBufferShedsEveryArrival) {
+  for (ShedPolicy policy : {ShedPolicy::drop_newest, ShedPolicy::drop_oldest,
+                            ShedPolicy::latest_only}) {
+    DeliveryWorld w;
+    QosPolicy qos;
+    qos.max_buffered_bytes = 0;
+    qos.shed = policy;
+    PathId path = w.connect(qos);
+    w.sink->close_gate();
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(w.emit(i).ok());
+    const PathStats* stats = w.rt->transport().stats(path);
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->messages_shed, 3u) << "policy " << static_cast<int>(policy);
+    EXPECT_EQ(stats->buffered_bytes, 0u);
+    w.sink->open();
+    w.sched.run_for(milliseconds(100));
+    EXPECT_TRUE(w.sink->delivered.empty());
+  }
+  // Block with zero capacity refuses every emit instead of shedding.
+  DeliveryWorld w;
+  QosPolicy qos;
+  qos.max_buffered_bytes = 0;
+  qos.shed = ShedPolicy::block;
+  PathId path = w.connect(qos);
+  auto refused = w.emit(0);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, Errc::buffer_overflow);
+  EXPECT_EQ(w.rt->transport().stats(path)->messages_blocked, 1u);
+}
+
+TEST(SheddingTest, DropNewestKeepsLegacyTailDropAndCountsShed) {
+  DeliveryWorld w;
+  QosPolicy qos;
+  qos.max_buffered_bytes = 3000;  // default shed = drop_newest
+  PathId path = w.connect(qos);
+  w.sink->close_gate();
+
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(w.emit(i).ok());
+  const PathStats* stats = w.rt->transport().stats(path);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->messages_shed, 2u);
+  EXPECT_EQ(stats->messages_dropped, 2u);
+  EXPECT_EQ(w.counter("delivery.shed_newest"), 2u);
+
+  w.sink->open();
+  w.sched.run_for(milliseconds(100));
+  ASSERT_EQ(w.sink->delivered.size(), 3u);  // the oldest three survive
+  EXPECT_EQ(w.sink->delivered[0].meta.at("n"), "0");
+  EXPECT_EQ(w.sink->delivered[2].meta.at("n"), "2");
+}
+
+}  // namespace
+}  // namespace umiddle::core

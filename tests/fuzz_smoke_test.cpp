@@ -141,6 +141,26 @@ Corpus umtp_corpus() {
   corpus.push_back(strip_prefix(umtp::encode(umtp::Frame{query_conn})));
   corpus.push_back(
       strip_prefix(umtp::encode(umtp::Frame{umtp::DisconnectFrame{PathId(9)}})));
+  // Delivery-contract frames (DESIGN.md §11): deadline-stamped DATA, the
+  // RESUME/ACK recovery handshake, and a SEQ-wrapped replay.
+  corpus.push_back(strip_prefix(umtp::encode_data(
+      core::PortRef{TranslatorId(42), "image-in"}, msg, /*deadline_ns=*/1234567890)));
+  umtp::ResumeFrame resume;
+  resume.node = NodeId(7);
+  resume.epoch = 11;
+  resume.prev_channel = 11;
+  resume.base_seq = 3;
+  corpus.push_back(strip_prefix(umtp::encode(umtp::Frame{resume})));
+  corpus.push_back(strip_prefix(umtp::encode_seq(
+      5, umtp::encode_data(core::PortRef{TranslatorId(42), "image-in"}, msg))));
+  // ACK is hand-assembled: constructing AckFrame{...} outside the transport
+  // session machinery is banned by the `ack-origin` lint rule.
+  ByteWriter ack;
+  ack.u32(17);  // u8 type + u64 epoch + u64 count
+  ack.u8(5);    // FrameType::ack
+  ack.u64(11);
+  ack.u64(4);
+  corpus.push_back(strip_prefix(ack.take()));
   return corpus;
 }
 
@@ -185,6 +205,86 @@ TEST(FuzzSmokeTest, UmtpLengthPrefixLiesAreRejectedNotTrusted) {
     EXPECT_FALSE(assembler.feed({wire.data(), wire.size()}, out).ok());
     EXPECT_TRUE(out.empty());
   }
+}
+
+TEST(FuzzSmokeTest, UmtpSeqAndAckFieldLiesFailDecodeNotState) {
+  // Field-level lies in the new delivery-contract frames must be rejected at
+  // decode time — before any sequencing/dedup state could be confused by them.
+  namespace umtp = core::umtp;
+  core::Message msg;
+  msg.type = MimeType::of("text/plain");
+  msg.payload = bytes_of("hello");
+  const Bytes data = umtp::encode_data(core::PortRef{TranslatorId(1), "in"}, msg);
+
+  auto feed_one = [](const Bytes& wire) {
+    umtp::FrameAssembler assembler;
+    std::vector<umtp::Frame> out;
+    return assembler.feed({wire.data(), wire.size()}, out);
+  };
+
+  // SEQ may only wrap buffered payload frames (DATA/CONNECT/DISCONNECT/
+  // DATA_DL). Wrapping control frames — or another SEQ — is a protocol lie.
+  ByteWriter ack;
+  ack.u32(17);
+  ack.u8(5);  // FrameType::ack
+  ack.u64(11);
+  ack.u64(4);
+  EXPECT_FALSE(feed_one(umtp::encode_seq(1, ack.take())).ok());
+  EXPECT_FALSE(feed_one(umtp::encode_seq(2, umtp::encode_seq(1, data))).ok());
+
+  {  // empty inner body: a SEQ that wraps nothing decodes to an error
+    ByteWriter w;
+    w.u32(9);  // u8 type + u64 seq, no inner frame
+    w.u8(7);   // FrameType::seq
+    w.u64(3);
+    EXPECT_FALSE(feed_one(w.take()).ok());
+  }
+  {  // truncated inner body under an honest outer prefix: inner decode fails
+    Bytes lying = umtp::encode_seq(4, data);
+    lying.pop_back();
+    const std::uint32_t len = static_cast<std::uint32_t>(lying.size() - 4);
+    lying[0] = std::uint8_t(len >> 24);
+    lying[1] = std::uint8_t(len >> 16);
+    lying[2] = std::uint8_t(len >> 8);
+    lying[3] = std::uint8_t(len);
+    EXPECT_FALSE(feed_one(lying).ok());
+  }
+  {  // ACK with trailing junk: fixed-size frames must not tolerate extra bytes
+    ByteWriter w;
+    w.u32(18);
+    w.u8(5);
+    w.u64(11);
+    w.u64(4);
+    w.u8(0xFF);
+    EXPECT_FALSE(feed_one(w.take()).ok());
+  }
+  {  // truncated RESUME: short reads surface as errors, not partial frames
+    ByteWriter w;
+    w.u32(17);  // RESUME needs 1 + 4*8 = 33 body bytes; give it half
+    w.u8(6);    // FrameType::resume
+    w.u64(7);
+    w.u64(11);
+    EXPECT_FALSE(feed_one(w.take()).ok());
+  }
+
+  // And the honest versions of each frame do decode — the lies above fail on
+  // their fields, not because the decoder rejects the frame types wholesale.
+  EXPECT_TRUE(feed_one(umtp::encode_seq(4, data)).ok());
+  umtp::ResumeFrame resume;
+  resume.node = NodeId(7);
+  resume.epoch = 11;
+  resume.prev_channel = 11;
+  resume.base_seq = 3;
+  EXPECT_TRUE(feed_one(umtp::encode(umtp::Frame{resume})).ok());
+  ByteWriter honest_ack;
+  honest_ack.u32(17);
+  honest_ack.u8(5);
+  honest_ack.u64(11);
+  honest_ack.u64(4);
+  EXPECT_TRUE(feed_one(honest_ack.take()).ok());
+  EXPECT_TRUE(feed_one(umtp::encode_data(core::PortRef{TranslatorId(1), "in"}, msg,
+                                         /*deadline_ns=*/99))
+                  .ok());
 }
 
 }  // namespace

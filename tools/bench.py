@@ -131,9 +131,11 @@ def flatten(doc: dict) -> dict[str, dict]:
 
 
 # Metric-name substrings that indicate waste when they grow: a throughput PR
-# that also increases drops, cache misses, or delivery failures is trading
-# efficiency for speed, and the comparison should say so.
-_EFFICIENCY_BAD = ("dropped", "miss", "failures")
+# that also increases drops, cache misses, delivery failures, shed messages or
+# deadline expiries is trading efficiency for speed, and the comparison should
+# say so. (Shed/expired counts under a fixed workload are deterministic, so a
+# change here is a real behaviour change, not noise.)
+_EFFICIENCY_BAD = ("dropped", "miss", "failures", "shed", "expired")
 
 
 def flatten_metrics(doc: dict) -> dict[str, int]:

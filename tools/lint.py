@@ -29,6 +29,9 @@ exist to keep nondeterminism from leaking back in:
                src/netsim/fault.cpp: packet loss (like every injected fault)
                goes through net.faults().set_loss()/set_burst_loss() so the
                FaultPlane's introspection counters stay authoritative.
+  ack-origin   no AckFrame construction outside src/core/{umtp,transport}.cpp:
+               acks retire sender ledger entries (DESIGN.md §11), so a frame
+               fabricated elsewhere could discard undelivered messages.
   range-copy   no by-value `for (auto x : ...)` range-for loops in src/: an
                `auto` loop variable deep-copies every element (profiles,
                frames, std::function events), which is exactly the class of
@@ -236,6 +239,33 @@ def check_fault_loss(path: str, code: str) -> Iterable[Violation]:
                             "fault plane's accounting stays authoritative")
 
 
+# An ACK frame drives the sender's retire/dedup ledger (DESIGN.md §11): a
+# fabricated one can acknowledge — and silently discard — messages that were
+# never delivered. Only the UMTP codec and the transport session machinery may
+# construct one; everything else (including tests probing the receive path)
+# must hand-assemble raw bytes so the forgery is explicit at the call site.
+# The pattern matches brace construction, not mentions: `std::get_if<AckFrame>`
+# and friends stay legal everywhere.
+ACK_ORIGIN_RE = re.compile(r"\bAckFrame\s*\{")
+ACK_ORIGIN_ALLOWLIST = {
+    "src/core/umtp.hpp",       # the frame definition itself
+    "src/core/umtp.cpp",       # codec: decode materialises received ACKs
+    "src/core/transport.cpp",  # session machinery: the only legitimate sender
+}
+
+
+def check_ack_origin(path: str, code: str) -> Iterable[Violation]:
+    if path in ACK_ORIGIN_ALLOWLIST:
+        return
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if ACK_ORIGIN_RE.search(line):
+            yield Violation("ack-origin", path, lineno,
+                            "AckFrame constructed outside the transport "
+                            "session machinery; acks retire ledger entries, "
+                            "so only src/core/{umtp,transport}.cpp may build "
+                            "them (DESIGN.md §11)")
+
+
 def check_global_telemetry(path: str, code: str) -> Iterable[Violation]:
     for lineno, line in enumerate(code.splitlines(), 1):
         if GLOBAL_TELEMETRY_RE.search(line):
@@ -254,6 +284,7 @@ CHECKS: list[Callable[[str, str], Iterable[Violation]]] = [
     check_nodiscard,
     check_range_for_copy,
     check_fault_loss,
+    check_ack_origin,
     check_global_telemetry,
 ]
 
@@ -303,6 +334,8 @@ SEEDED_VIOLATIONS = [
      "for (const auto [k, v] : meta_) { use(k, v); }\n"),
     ("fault-loss", "src/netsim/evil.cpp",
      "segments_.at(seg).spec.loss = 0.5;\n"),
+    ("ack-origin", "src/upnp/evil.cpp",
+     "auto ack = umtp::AckFrame{epoch, count};\n"),
     ("global-telemetry", "src/core/evil.cpp",
      "static obs::MetricsRegistry g_registry;\n"),
     ("global-telemetry", "src/obs/evil.hpp",
@@ -326,6 +359,9 @@ CLEAN_SNIPPETS = [
      "obs::Counter& udp_datagrams_;\n"
      "obs::Histogram connect_rtt{latency_bounds_ns()};\n"
      "auto n = static_cast<std::uint64_t>(counter.value());\n"),
+    ("src/core/fine.cpp",
+     "if (auto* ack = std::get_if<umtp::AckFrame>(&frame)) { use(*ack); }\n"
+     "void handle_ack(const umtp::AckFrame& ack);\n"),
     ("src/netsim/fine.cpp",
      "double loss = spec.loss;\n"
      "if (spec.loss == 0.0) { return; }\n"
