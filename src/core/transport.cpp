@@ -221,9 +221,18 @@ Result<void> Transport::route(const PortRef& src, const Message& msg) {
   // buffer cannot take the whole fan-out, the emit is refused before anything
   // is enqueued anywhere — a retried emit must never double-deliver to the
   // paths that had room.
+  const sim::TimePoint now = runtime_.scheduler().now();
   for (auto& [id, path] : paths_) {
     if (!(path.src == src)) continue;
     if (path.qos.shed != ShedPolicy::block || !path.qos.bounded() || path.bound.empty()) continue;
+    // A message already past its effective deadline needs no room: enqueue()
+    // retires it as expired, so it must not trip a would-block refusal a
+    // retrying producer could spin on forever.
+    std::int64_t deadline_ns = msg.deadline_ns;
+    if (deadline_ns == 0 && path.qos.message_ttl) {
+      deadline_ns = (now + *path.qos.message_ttl).count();
+    }
+    if (deadline_ns != 0 && now.count() >= deadline_ns) continue;
     const std::size_t need = msg.payload.size() * path.bound.size();
     if (path.stats.buffered_bytes + need > *path.qos.max_buffered_bytes) {
       path.stats.messages_blocked += 1;
@@ -528,6 +537,7 @@ void Transport::breaker_record(TranslatorId id, bool ok) {
 void Transport::open_breaker(TranslatorId id, Breaker& breaker) {
   breaker.state = Breaker::State::open;
   breaker.failures = 0;
+  breaker.generation = ++breaker_gen_;
   obs::MetricsRegistry& metrics = runtime_.network().metrics();
   metrics.counter("delivery.breaker_open").inc();
   runtime_.network().tracer().instant(0, "deliver.breaker-open", runtime_.host(),
@@ -540,11 +550,19 @@ void Transport::open_breaker(TranslatorId id, Breaker& breaker) {
   const std::int64_t base = runtime_.config().breaker_probe_delay.count();
   const std::int64_t jitter = static_cast<std::int64_t>(
       runtime_.network().rng().below(static_cast<std::uint64_t>(base / 2 + 1)));
+  // The timer half-opens only the open cycle that scheduled it: a breaker
+  // that closed (entry erased) and later re-opened — possibly under a
+  // recycled translator id after a crash — must wait out its own probe
+  // delay, not inherit a stale timer's earlier one.
+  const std::uint64_t gen = breaker.generation;
   runtime_.scheduler().schedule_after(
       sim::Duration(base + jitter),
-      [this, id]() {
+      [this, id, gen]() {
         auto it = breakers_.find(id);
-        if (it == breakers_.end() || it->second.state != Breaker::State::open) return;
+        if (it == breakers_.end() || it->second.state != Breaker::State::open ||
+            it->second.generation != gen) {
+          return;
+        }
         it->second.state = Breaker::State::half_open;
         runtime_.network().metrics().counter("delivery.breaker_probes").inc();
       },
@@ -814,7 +832,15 @@ void Transport::handle_ack(NodeLink& link, const umtp::AckFrame& ack) {
   // The ACK confirms the peer migrated (or kept) its count under the stream
   // that carried it — remember that as the next RESUME's prev-channel hint.
   if (link.stream != nullptr) link.count_home = link.stream->id().value();
+  // The peer's accepted-frame count after the handshake. Explicit in a normal
+  // ACK; a restarted peer answering kAckCountUnknown realigned itself to
+  // base_seq - 1 (handle_resume), which this formula reproduces — the ledger
+  // front is stable between sending RESUME and receiving the ACK, and frames
+  // buffered meanwhile continue the sequence, so base_seq here equals the one
+  // the RESUME carried.
+  std::uint64_t peer_count;
   if (ack.count == umtp::kAckCountUnknown) {
+    peer_count = (link.ledger.empty() ? link.next_seq + 1 : link.ledger.front().seq) - 1;
     // The peer restarted and lost its dedup window: our sent-but-unacked
     // prefix was either delivered before the crash or died with it. Replaying
     // it could only duplicate, so it is dropped (at-most-once across receiver
@@ -833,6 +859,7 @@ void Transport::handle_ack(NodeLink& link, const umtp::AckFrame& ack) {
     // Clamp against an ack-count lie: the peer can never have accepted more
     // frames than we ever assigned.
     const std::uint64_t acked = std::min(ack.count, link.next_seq);
+    peer_count = acked;
     std::uint64_t retired = 0;
     while (!link.ledger.empty() && link.ledger.front().seq <= acked) {
       LinkEntry& e = link.ledger.front();
@@ -846,14 +873,19 @@ void Transport::handle_ack(NodeLink& link, const umtp::AckFrame& ack) {
       runtime_.network().metrics().counter("delivery.acked_retired").inc(retired);
     }
   }
-  if (link.awaiting_ack) finish_recovery(link);
+  if (link.awaiting_ack) finish_recovery(link, peer_count);
 }
 
-void Transport::finish_recovery(NodeLink& link) {
+void Transport::finish_recovery(NodeLink& link, std::uint64_t peer_count) {
   obs::MetricsRegistry& metrics = runtime_.network().metrics();
   const sim::TimePoint now = runtime_.scheduler().now();
   std::uint64_t replayed = 0;
   std::uint64_t expired = 0;
+  // The peer's count after the last replayed frame lands. Gaps from retired
+  // (expired / unacked-dropped) entries *inside* the replay self-heal — SEQ
+  // frames carry explicit numbers — but a trailing gap would desync the
+  // implicit counting that resumes afterwards.
+  std::uint64_t last_seq = peer_count;
   for (auto it = link.ledger.begin(); it != link.ledger.end();) {
     LinkEntry& e = *it;
     if (e.deadline_ns != 0 && now.count() >= e.deadline_ns) {
@@ -874,9 +906,16 @@ void Transport::finish_recovery(NodeLink& link) {
       link.sent_bytes += e.frame->size();
     }
     (void)link.stream->send(std::move(wrapped));
+    last_seq = e.seq;
     replayed += 1;
     ++it;
   }
+  // Keep wire sequence numbers dense: the next plain frame is counted
+  // implicitly as last_seq + 1, so next_seq must land exactly there. Seqs
+  // skipped by a trailing retired entry (or a whole dropped prefix with
+  // nothing left to replay) are provably uncounted by the peer — a counted
+  // frame would have been acked and retired above — so reusing them is safe.
+  link.next_seq = last_seq;
   link.awaiting_ack = false;
   link.reconnecting = false;
   link.attempts = 0;

@@ -184,6 +184,10 @@ class Transport final : public DirectoryListener {
     enum class State { closed, open, half_open };
     State state = State::closed;
     int failures = 0;  ///< consecutive failures while closed
+    /// Which open cycle armed the pending half-open timer (unique across all
+    /// breakers and restarts). A timer whose generation no longer matches is
+    /// stale — the breaker closed and re-opened since — and must not fire.
+    std::uint64_t generation = 0;
   };
 
   /// High-water mark on a link's unsent bytes before paths pause.
@@ -232,9 +236,12 @@ class Transport final : public DirectoryListener {
   /// Peer told us its accepted-frame count: retire the acknowledged ledger
   /// prefix and, if a recovery is pending, selectively replay the rest.
   void handle_ack(NodeLink& link, const umtp::AckFrame& ack);
-  /// Replay unacknowledged, unexpired ledger entries SEQ-wrapped, then close
+  /// Replay unacknowledged, unexpired ledger entries SEQ-wrapped, realign
+  /// next_seq with the peer's count (`peer_count` = frames the peer has
+  /// accepted after the handshake; retired entries would otherwise leave a
+  /// trailing seq gap that desyncs the peer's implicit counting), then close
   /// out the recovery (reconnect bookkeeping, reannounce, resume paths).
-  void finish_recovery(NodeLink& link);
+  void finish_recovery(NodeLink& link, std::uint64_t peer_count);
   void accept_peer(net::StreamPtr stream);
   /// `channel` is the sending peer's stream id (Stream::peer() of the accepted
   /// stream) — the tracer baggage channel DATA trace ids arrive on. `reply`
@@ -275,6 +282,9 @@ class Transport final : public DirectoryListener {
   /// RESUME was processed but the ACK was lost to a second cut).
   std::map<NodeId, std::uint64_t> recv_home_;
   std::map<TranslatorId, Breaker> breakers_;
+  /// Monotonic breaker-open generation; never reset (crash() included), so a
+  /// stale probe timer can never match a later open cycle.
+  std::uint64_t breaker_gen_ = 0;
   IdGenerator<PathId> path_seq_;
 };
 

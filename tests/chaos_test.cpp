@@ -490,6 +490,180 @@ TEST(ChaosTest, DeadlinedMessagesExpireInOutageBufferInsteadOfReplayingStale) {
   EXPECT_EQ(a.telemetry, b.telemetry);
 }
 
+// --- scenario 6b: a trailing expired outage entry must not desync sequencing ----
+
+/// Regression for a seq-gap bug: recovery retires deadline-expired ledger
+/// entries without replaying them, and the receiver counts plain frames
+/// implicitly (+1 each). If the retired entry held the *highest* sequence
+/// number, the receiver's count lagged the sender's next_seq after the first
+/// recovery, and a second cut then replayed already-delivered frames past the
+/// dedup window. next_seq realignment keeps the wire dense instead.
+void trailing_expiry_scenario(RunRecord* rec) {
+  sim::Scheduler sched;
+  net::Network net(sched, 1);
+  net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+  for (const char* h : {"a", "b"}) {
+    ASSERT_TRUE(net.add_host(h).ok());
+    ASSERT_TRUE(net.attach(h, lan).ok());
+  }
+  core::Runtime ra(sched, net, "a");
+  core::Runtime rb(sched, net, "b");
+  ASSERT_TRUE(ra.start().ok());
+  ASSERT_TRUE(rb.start().ok());
+
+  auto src = std::make_unique<core::LambdaDevice>(
+      "Sensor", core::make_source_shape("out", MimeType::of("image/jpeg")));
+  core::LambdaDevice* src_raw = src.get();
+  auto src_id = ra.map(std::move(src)).take();
+  auto sink = std::make_unique<core::CollectorDevice>(
+      "Recorder", core::make_sink_shape("in", MimeType::of("image/jpeg")));
+  core::CollectorDevice* sink_raw = sink.get();
+  auto sink_id = rb.map(std::move(sink)).take();
+  sched.run_for(seconds(1));
+  ASSERT_TRUE(
+      ra.transport().connect(core::PortRef{src_id, "out"}, core::PortRef{sink_id, "in"}).ok());
+
+  auto shot = [&](int n, std::int64_t deadline_ns = 0) {
+    core::Message m;
+    m.type = MimeType::of("image/jpeg");
+    m.payload = Bytes(1000, 0xD8);
+    m.meta["n"] = std::to_string(n);
+    m.deadline_ns = deadline_ns;
+    ASSERT_TRUE(src_raw->emit("out", std::move(m)).ok());
+  };
+  shot(0);
+  sched.run_for(seconds(1));
+  ASSERT_EQ(sink_raw->count(), 1u);
+
+  // First cut. Two messages join the outage buffer: a durable one, then a
+  // short-deadline one that expires there — the trailing ledger entry.
+  sim::TimePoint t0 = sched.now() + milliseconds(1);
+  net.faults().cut(lan, t0, t0 + seconds(2));
+  sched.run_for(milliseconds(100));
+  shot(1);
+  shot(2, (sched.now() + milliseconds(200)).count());
+  sched.run_for(seconds(10));  // heal + recovery: 1 replayed, 2 expired unsent
+  ASSERT_EQ(sink_raw->count(), 2u);
+  EXPECT_GE(counter_of(net, "delivery.expired"), 1u);
+
+  // Plain traffic after the recovery, then a second cut with one in-flight
+  // message. The second RESUME/ACK exchange must retire exactly the frames
+  // the receiver counted — no duplicates, no spurious retention gap.
+  shot(3);
+  shot(4);
+  sched.run_for(seconds(1));
+  ASSERT_EQ(sink_raw->count(), 4u);
+  sim::TimePoint t1 = sched.now() + milliseconds(1);
+  net.faults().cut(lan, t1, t1 + seconds(2));
+  sched.run_for(milliseconds(100));
+  shot(5);
+  sched.run_for(seconds(10));
+
+  ASSERT_EQ(sink_raw->count(), 5u);  // every survivor exactly once
+  const char* expect[] = {"0", "1", "3", "4", "5"};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sink_raw->received()[i].msg.meta.at("n"), expect[i]);
+  }
+  EXPECT_GE(counter_of(net, "recovery.reconnects"), 2u);
+  EXPECT_EQ(counter_of(net, "delivery.resume_gap"), 0u);
+  rec->telemetry = obs::world_json(net.metrics(), net.tracer());
+  rec->digest = sched.trace_digest();
+}
+
+TEST(ChaosTest, TrailingExpiredOutageEntryDoesNotDesyncLaterRecovery) {
+  RunRecord a, b;
+  ASSERT_NO_FATAL_FAILURE(trailing_expiry_scenario(&a));
+  ASSERT_NO_FATAL_FAILURE(trailing_expiry_scenario(&b));
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.telemetry, b.telemetry);
+}
+
+// --- scenario 6c: receiver restart with nothing to replay stays in sequence -----
+
+/// Regression for the kAckCountUnknown half of the same bug: the restarted
+/// receiver realigns its count to base_seq - 1 and the sender drops its
+/// sent-but-unacked prefix. With no unsent entries left to replay, the
+/// sender's next_seq kept the pre-drop value, so the next plain frame jumped
+/// the receiver's implicit count — a later recovery then double-delivered the
+/// post-restart traffic and mis-fired the retention-gap path.
+void receiver_restart_scenario(RunRecord* rec) {
+  sim::Scheduler sched;
+  net::Network net(sched, 1);
+  net::SegmentId lan = net.add_segment(net::SegmentSpec{});
+  for (const char* h : {"a", "b"}) {
+    ASSERT_TRUE(net.add_host(h).ok());
+    ASSERT_TRUE(net.attach(h, lan).ok());
+  }
+  core::Runtime ra(sched, net, "a");
+  core::Runtime rb(sched, net, "b");
+  ASSERT_TRUE(ra.start().ok());
+  ASSERT_TRUE(rb.start().ok());
+
+  auto src = std::make_unique<core::LambdaDevice>(
+      "Sensor", core::make_source_shape("out", MimeType::of("image/jpeg")));
+  core::LambdaDevice* src_raw = src.get();
+  auto src_id = ra.map(std::move(src)).take();
+  auto sink = std::make_unique<core::CollectorDevice>(
+      "Recorder", core::make_sink_shape("in", MimeType::of("image/jpeg")));
+  auto sink_id = rb.map(std::move(sink)).take();
+  sched.run_for(seconds(1));
+  ASSERT_TRUE(
+      ra.transport().connect(core::PortRef{src_id, "out"}, core::PortRef{sink_id, "in"}).ok());
+
+  auto shot = [&](int n) {
+    core::Message m;
+    m.type = MimeType::of("image/jpeg");
+    m.payload = Bytes(1000, 0xD8);
+    m.meta["n"] = std::to_string(n);
+    ASSERT_TRUE(src_raw->emit("out", std::move(m)).ok());
+  };
+  for (int n = 0; n < 3; ++n) shot(n);
+  sched.run_for(seconds(1));  // delivered to the first sink incarnation
+
+  // The receiver dies and restarts; the re-mapped sink recycles its id, so
+  // the sender's path stays bound. The RESUME answer is kAckCountUnknown and
+  // the sender's whole ledger is a sent-but-unacked prefix: everything is
+  // dropped, nothing is replayed.
+  rb.crash();
+  sched.run_for(milliseconds(100));
+  ASSERT_TRUE(rb.start().ok());
+  auto sink2 = std::make_unique<core::CollectorDevice>(
+      "Recorder", core::make_sink_shape("in", MimeType::of("image/jpeg")));
+  core::CollectorDevice* sink2_raw = sink2.get();
+  ASSERT_EQ(rb.map(std::move(sink2)).take(), sink_id);  // id really is recycled
+  sched.run_for(seconds(5));  // reconnect + RESUME/ACK long done
+  EXPECT_GE(counter_of(net, "delivery.unacked_dropped"), 1u);
+
+  // Plain traffic to the new incarnation, then a cut-and-heal: recovery must
+  // retire exactly what the new incarnation counted.
+  shot(3);
+  shot(4);
+  sched.run_for(seconds(1));
+  ASSERT_EQ(sink2_raw->count(), 2u);
+  sim::TimePoint t0 = sched.now() + milliseconds(1);
+  net.faults().cut(lan, t0, t0 + seconds(2));
+  sched.run_for(milliseconds(100));
+  shot(5);
+  sched.run_for(seconds(10));
+
+  ASSERT_EQ(sink2_raw->count(), 3u);  // 3, 4, 5 — each exactly once
+  const char* expect[] = {"3", "4", "5"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sink2_raw->received()[i].msg.meta.at("n"), expect[i]);
+  }
+  EXPECT_EQ(counter_of(net, "delivery.resume_gap"), 0u);
+  rec->telemetry = obs::world_json(net.metrics(), net.tracer());
+  rec->digest = sched.trace_digest();
+}
+
+TEST(ChaosTest, ReceiverRestartWithEmptyReplaySetStaysInSequence) {
+  RunRecord a, b;
+  ASSERT_NO_FATAL_FAILURE(receiver_restart_scenario(&a));
+  ASSERT_NO_FATAL_FAILURE(receiver_restart_scenario(&b));
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.telemetry, b.telemetry);
+}
+
 // --- scenario 7: a lying peer cannot force duplicate delivery -------------------
 
 TEST(ChaosTest, SeqFieldLiesAreSuppressedNotRedelivered) {

@@ -161,6 +161,55 @@ TEST(BreakerTest, SuccessResetsTheConsecutiveFailureCount) {
   EXPECT_EQ(w.net.metrics().snapshot().find("delivery.breaker_open"), nullptr);
 }
 
+TEST(BreakerTest, StaleProbeTimerFromEarlierOpenCycleIsIgnored) {
+  RuntimeConfig config;
+  config.breaker_probe_delay = seconds(2);  // timer due open + [2, 3] s (jitter ≤ half)
+  DeliveryWorld w(std::move(config));
+  w.connect();
+  w.sink->failing = true;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(w.emit(i).ok());
+  w.sched.run_for(milliseconds(100));  // t ≈ 0.1 s: open #1, its timer due ≤ t + 3 s
+  EXPECT_EQ(w.counter("delivery.breaker_open"), 1u);
+
+  // Restart the node before that timer fires. The crash wipes the breaker
+  // table but the timer stays scheduled; the re-mapped sink recycles the
+  // translator id, so a fresh breaker for the *same id* opens a new cycle.
+  w.sched.run_for(milliseconds(1700));
+  w.rt->crash();
+  ASSERT_TRUE(w.rt->start().ok());
+  auto s = std::make_unique<LambdaDevice>("Source", make_source_shape("out", jpeg()));
+  w.src = s.get();
+  ASSERT_EQ(w.rt->map(std::move(s)).take(), w.src_id);  // ids recycle with the process
+  auto k = std::make_unique<FussySink>();
+  w.sink = k.get();
+  ASSERT_EQ(w.rt->map(std::move(k)).take(), w.sink_id);
+  ASSERT_TRUE(
+      w.rt->transport().connect(PortRef{w.src_id, "out"}, PortRef{w.sink_id, "in"}).ok());
+  w.sink->failing = true;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(w.emit(i).ok());
+  w.sched.run_for(milliseconds(100));  // t ≈ 1.9 s: open #2, its timer due ≥ t + 2 s
+  EXPECT_EQ(w.counter("delivery.breaker_open"), 2u);
+  EXPECT_EQ(w.sink->attempts, 5);
+
+  // t ≈ 3.6 s: cycle #1's timer has fired (due ≤ 3.1 s), cycle #2's has not
+  // (due ≥ 3.9 s). The stale timer must not half-open the new cycle early.
+  w.sched.run_for(milliseconds(1700));
+  EXPECT_EQ(w.counter("delivery.breaker_probes"), 0u);
+  ASSERT_TRUE(w.emit(5).ok());
+  w.sched.run_for(milliseconds(100));
+  EXPECT_EQ(w.sink->attempts, 5);  // still quarantined
+  EXPECT_GE(w.counter("delivery.breaker_dropped"), 1u);
+
+  // t ≈ 5.5 s: past cycle #2's latest due time, its own probe opens the gate.
+  w.sched.run_for(milliseconds(1800));
+  EXPECT_EQ(w.counter("delivery.breaker_probes"), 1u);
+  w.sink->failing = false;
+  ASSERT_TRUE(w.emit(6).ok());
+  w.sched.run_for(milliseconds(100));
+  EXPECT_EQ(w.sink->attempts, 6);
+  EXPECT_EQ(w.counter("delivery.breaker_closed"), 1u);
+}
+
 // --- message deadlines ----------------------------------------------------------
 
 TEST(DeadlineTest, ExpiredMessagesAreDroppedNotDelivered) {
@@ -292,6 +341,44 @@ TEST(SheddingTest, BlockRefusesEmitsButNeverDropsAnything) {
   for (int i = 0; i < 3; ++i) {
     EXPECT_EQ(w.sink->delivered[static_cast<std::size_t>(i)].meta.at("n"), std::to_string(i));
   }
+}
+
+TEST(SheddingTest, BlockRetiresAlreadyExpiredMessagesInsteadOfRefusing) {
+  DeliveryWorld w;
+  QosPolicy qos;
+  qos.max_buffered_bytes = 2000;
+  qos.shed = ShedPolicy::block;
+  PathId path = w.connect(qos);
+  w.sink->close_gate();
+  ASSERT_TRUE(w.emit(0).ok());
+  ASSERT_TRUE(w.emit(1).ok());  // buffer now full
+
+  // A message already past its deadline can never be delivered; refusing it
+  // with would-block would spin a retrying producer forever. It is retired as
+  // expired instead — no error, no blocked count.
+  Message stale;
+  stale.type = jpeg();
+  stale.payload = Bytes(1000, 0xFF);
+  stale.deadline_ns = w.sched.now().count();
+  ASSERT_TRUE(w.src->emit("out", std::move(stale)).ok());
+  const PathStats* stats = w.rt->transport().stats(path);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->messages_expired, 1u);
+  EXPECT_EQ(stats->messages_blocked, 0u);
+  EXPECT_EQ(w.counter("delivery.expired"), 1u);
+
+  // A live message against the same full buffer is still refused whole.
+  auto refused = w.emit(2);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, Errc::buffer_overflow);
+  EXPECT_EQ(stats->messages_blocked, 1u);
+
+  // Nothing queued was touched by either outcome.
+  w.sink->open();
+  w.sched.run_for(milliseconds(100));
+  ASSERT_EQ(w.sink->delivered.size(), 2u);
+  EXPECT_EQ(w.sink->delivered[0].meta.at("n"), "0");
+  EXPECT_EQ(w.sink->delivered[1].meta.at("n"), "1");
 }
 
 TEST(SheddingTest, ZeroCapacityBufferShedsEveryArrival) {

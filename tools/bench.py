@@ -63,8 +63,9 @@ def run_bench(binary: pathlib.Path, smoke: bool) -> dict:
     ]
     if smoke:
         # One repetition, minimal measuring time: proves the binary still runs
-        # and produces parseable output without burning CI minutes.
-        cmd += ["--benchmark_min_time=0.01s", "--benchmark_repetitions=1"]
+        # and produces parseable output without burning CI minutes. Bare double
+        # (seconds), not the "0.01s" suffix form: the latter needs gbench >= 1.8.
+        cmd += ["--benchmark_min_time=0.01", "--benchmark_repetitions=1"]
     started = time.monotonic()
     proc = subprocess.run(cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
     wall = time.monotonic() - started
